@@ -1,0 +1,159 @@
+// Command renaissance is the benchmark harness CLI: it lists and runs the
+// workloads of the four suites, prints their metric profiles, and emits
+// JSON results — the role of the paper's harness (§2.2).
+//
+// Usage:
+//
+//	renaissance list [-suite name]
+//	renaissance run [-suite name] [-bench name] [-size f] [-warmup n] [-measured n] [-json]
+//	renaissance metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"renaissance/internal/core"
+	"renaissance/internal/metrics"
+	"renaissance/internal/report"
+	"renaissance/internal/stats"
+
+	_ "renaissance/internal/bench/classic"
+	_ "renaissance/internal/bench/fn"
+	_ "renaissance/internal/bench/oo"
+	_ "renaissance/internal/bench/renaissance"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "metrics":
+		err = cmdMetrics()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "renaissance:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  renaissance list [-suite name]
+  renaissance run [-suite name] [-bench name] [-size f] [-warmup n] [-measured n] [-json]
+  renaissance metrics`)
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	suite := fs.String("suite", "", "only list this suite")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t := &report.Table{Headers: []string{"suite", "benchmark", "focus", "description"}}
+	for _, s := range core.Global.All() {
+		if *suite != "" && s.Suite != *suite {
+			continue
+		}
+		focus := ""
+		for i, f := range s.Focus {
+			if i > 0 {
+				focus += ", "
+			}
+			focus += f
+		}
+		t.AddRow(s.Suite, s.Name, focus, s.Description)
+	}
+	return t.Write(os.Stdout)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	suite := fs.String("suite", "", "only run this suite")
+	bench := fs.String("bench", "", "only run this benchmark")
+	size := fs.Float64("size", 1.0, "workload size factor")
+	warmup := fs.Int("warmup", 0, "override warmup iterations")
+	measured := fs.Int("measured", 0, "override measured iterations")
+	asJSON := fs.Bool("json", false, "emit JSON results")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	r := core.NewRunner()
+	r.Config.SizeFactor = *size
+	r.WarmupOverride = *warmup
+	r.MeasuredOverride = *measured
+
+	var specs []*core.Spec
+	for _, s := range core.Global.All() {
+		if *suite != "" && s.Suite != *suite {
+			continue
+		}
+		if *bench != "" && s.Name != *bench {
+			continue
+		}
+		specs = append(specs, s)
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("no benchmarks match suite=%q bench=%q", *suite, *bench)
+	}
+
+	t := &report.Table{Headers: []string{"suite", "benchmark", "mean ms", "99% CI", "min ms", "max ms", "validated"}}
+	for _, s := range specs {
+		res, err := r.Run(s)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			if err := res.WriteJSON(os.Stdout); err != nil {
+				return err
+			}
+			continue
+		}
+		sum := res.Summary()
+		ci := "n/a"
+		if mean, hw, err := stats.MeanCI(res.Durations, 0.99); err == nil {
+			ci = fmt.Sprintf("±%.2f", hw)
+			_ = mean
+		}
+		t.AddRow(s.Suite, s.Name,
+			fmt.Sprintf("%.2f", sum.Mean), ci, fmt.Sprintf("%.2f", sum.Min),
+			fmt.Sprintf("%.2f", sum.Max), res.Validated)
+	}
+	if *asJSON {
+		return nil
+	}
+	return t.Write(os.Stdout)
+}
+
+func cmdMetrics() error {
+	desc := map[metrics.Metric]string{
+		metrics.Synch:     "synchronized (mutex-guarded) sections executed",
+		metrics.Wait:      "guarded-block waits (Object.wait analogues)",
+		metrics.Notify:    "condition signals (Object.notify analogues)",
+		metrics.Atomic:    "atomic memory operations executed",
+		metrics.Park:      "goroutine park operations",
+		metrics.CPU:       "average CPU utilization (sampled, %)",
+		metrics.CacheMiss: "cache misses (simulated / allocation proxy)",
+		metrics.Object:    "objects allocated",
+		metrics.Array:     "arrays (slices) allocated",
+		metrics.Method:    "dynamically dispatched calls",
+		metrics.IDynamic:  "closure dispatches (invokedynamic analogues)",
+	}
+	t := &report.Table{Title: "Table 2: characterizing metrics", Headers: []string{"name", "description"}}
+	for _, m := range metrics.AllMetrics() {
+		t.AddRow(m.String(), desc[m])
+	}
+	return t.Write(os.Stdout)
+}

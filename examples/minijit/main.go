@@ -1,0 +1,71 @@
+// Minijit: compile a minilang program through the full RVM pipeline,
+// inspect the IR before and after optimization, and compare the baseline
+// and optimizing pipelines under the deterministic cycle cost model — the
+// §5/§6 methodology on one small program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"renaissance/internal/minilang"
+	"renaissance/internal/rvm/ir"
+	"renaissance/internal/rvm/jit"
+	"renaissance/internal/rvm/opt"
+)
+
+const src = `
+func scale(x int) int { return x * 3 + 1; }
+
+func sum(n int) int {
+	var acc = 0;
+	var i = 0;
+	while i < n {
+		acc = acc + scale(i);
+		i = i + 1;
+	}
+	return acc;
+}
+
+func main() int { return sum(2000); }
+`
+
+func main() {
+	prog, err := minilang.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the unoptimized IR of main.
+	raw, err := ir.BuildProgram(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== unoptimized IR of ML.sum ===")
+	fmt.Println(raw.Funcs["ML.sum"])
+
+	// Compile under both pipelines and compare.
+	for _, pipe := range []*opt.Pipeline{opt.BaselinePipeline(), opt.OptPipeline()} {
+		c, err := jit.Compile(prog, pipe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, stats, err := c.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== pipeline %-8s  result=%v  cycles=%-8d  instrs=%-8d  codesize=%d ===\n",
+			pipe.Name, v, stats.Cycles, stats.Executed, c.CodeSize)
+		if pipe.Name == "opt" {
+			fmt.Println("\n=== optimized IR of ML.sum (call to scale inlined) ===")
+			fmt.Println(c.Prog.Funcs["ML.sum"])
+			fmt.Println("hottest methods:")
+			for i, h := range c.HotMethods(stats) {
+				if i >= 3 {
+					break
+				}
+				fmt.Printf("  %-12s %8d cycles over %d calls\n", h.Name, h.Cycles, h.Calls)
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module renaissance
+
+go 1.22

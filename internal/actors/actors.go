@@ -1,0 +1,290 @@
+// Package actors implements a message-passing actor runtime in the style of
+// Akka and the Reactors framework, used by the akka-uct and reactors
+// benchmarks (Table 1: "actors, message-passing"). Actors own a mailbox,
+// process one message at a time, and are multiplexed over a fixed pool of
+// scheduler workers. Message sends and mailbox scheduling use atomic
+// operations and mutex-protected queues, which is exactly the
+// concurrency-primitive profile the paper attributes to actor workloads.
+package actors
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"renaissance/internal/metrics"
+)
+
+// ErrSystemStopped is returned by operations on a shut-down system.
+var ErrSystemStopped = errors.New("actors: system stopped")
+
+// A Receiver defines an actor's behavior: Receive is invoked for every
+// delivered message, never concurrently for the same actor.
+type Receiver interface {
+	Receive(ctx *Context, msg any)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(ctx *Context, msg any)
+
+// Receive calls the function.
+func (f ReceiverFunc) Receive(ctx *Context, msg any) { f(ctx, msg) }
+
+// System is an actor system: a run queue served by worker goroutines, plus
+// in-flight message accounting used for quiescence detection.
+type System struct {
+	runq     chan *Ref
+	workers  int
+	wg       sync.WaitGroup
+	stopped  atomic.Bool
+	inFlight atomic.Int64
+	quiesce  chan struct{} // receives a token when inFlight drops to 0
+
+	mu     sync.Mutex
+	actors map[string]*Ref
+	nextID atomic.Int64
+}
+
+// NewSystem creates an actor system with the given number of scheduler
+// workers (0 means GOMAXPROCS).
+func NewSystem(workers int) *System {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &System{
+		runq:    make(chan *Ref, 1024),
+		workers: workers,
+		quiesce: make(chan struct{}, 1),
+		actors:  make(map[string]*Ref),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *System) worker() {
+	defer s.wg.Done()
+	for ref := range s.runq {
+		ref.processBatch()
+	}
+}
+
+// Spawn creates a new actor with the given name (a unique suffix is added
+// when the name is already taken) and behavior, and returns its reference.
+func (s *System) Spawn(name string, r Receiver) *Ref {
+	if s.stopped.Load() {
+		panic(ErrSystemStopped)
+	}
+	metrics.IncObject() // the actor itself
+	ref := &Ref{sys: s, recv: r}
+	s.mu.Lock()
+	metrics.IncSynch()
+	if _, taken := s.actors[name]; taken {
+		name = fmt.Sprintf("%s-%d", name, s.nextID.Add(1))
+	}
+	ref.name = name
+	s.actors[name] = ref
+	s.mu.Unlock()
+	return ref
+}
+
+// Lookup returns the actor registered under name, if any.
+func (s *System) Lookup(name string) (*Ref, bool) {
+	s.mu.Lock()
+	metrics.IncSynch()
+	defer s.mu.Unlock()
+	ref, ok := s.actors[name]
+	return ref, ok
+}
+
+// ActorCount returns the number of live actors.
+func (s *System) ActorCount() int {
+	s.mu.Lock()
+	metrics.IncSynch()
+	defer s.mu.Unlock()
+	return len(s.actors)
+}
+
+// AwaitQuiescence blocks until no messages are in flight. It is the
+// termination-detection mechanism used by tree-computation workloads such
+// as akka-uct.
+func (s *System) AwaitQuiescence() {
+	metrics.IncAtomic()
+	if s.inFlight.Load() == 0 {
+		return
+	}
+	metrics.IncPark()
+	<-s.quiesce
+}
+
+// Shutdown stops the workers after the run queue drains. Pending messages
+// that were already enqueued are still processed.
+func (s *System) Shutdown() {
+	if s.stopped.Swap(true) {
+		return
+	}
+	s.AwaitQuiescence()
+	close(s.runq)
+	s.wg.Wait()
+}
+
+// actor mailbox scheduling states
+const (
+	idle int32 = iota
+	scheduled
+)
+
+// Ref is a reference to an actor; it is the only handle other code uses to
+// communicate with it.
+type Ref struct {
+	sys  *System
+	name string
+	recv Receiver
+
+	mu      sync.Mutex
+	queue   []envelope
+	state   atomic.Int32
+	stopped atomic.Bool
+}
+
+type envelope struct {
+	msg    any
+	sender *Ref
+}
+
+// Name returns the actor's registered name.
+func (r *Ref) Name() string { return r.name }
+
+// Tell enqueues a message for the actor with no sender.
+func (r *Ref) Tell(msg any) { r.send(msg, nil) }
+
+// TellFrom enqueues a message with an explicit sender reference.
+func (r *Ref) TellFrom(msg any, sender *Ref) { r.send(msg, sender) }
+
+func (r *Ref) send(msg any, sender *Ref) {
+	if r.stopped.Load() || r.sys.stopped.Load() {
+		return // dead letter
+	}
+	metrics.IncAtomic()
+	r.sys.inFlight.Add(1)
+
+	r.mu.Lock()
+	metrics.IncSynch()
+	r.queue = append(r.queue, envelope{msg, sender})
+	r.mu.Unlock()
+
+	r.schedule()
+}
+
+// schedule transitions the mailbox from idle to scheduled with a CAS and
+// puts the actor on the run queue; if it is already scheduled the running
+// worker will observe the new message.
+func (r *Ref) schedule() {
+	metrics.IncAtomic()
+	if r.state.CompareAndSwap(idle, scheduled) {
+		r.sys.runq <- r
+	}
+}
+
+// batchSize bounds how many messages one scheduling slot processes, so a
+// flooding actor cannot starve others (fair scheduling like Akka's
+// throughput parameter).
+const batchSize = 64
+
+func (r *Ref) processBatch() {
+	processed := 0
+	for processed < batchSize {
+		r.mu.Lock()
+		metrics.IncSynch()
+		if len(r.queue) == 0 {
+			r.mu.Unlock()
+			break
+		}
+		env := r.queue[0]
+		r.queue = r.queue[1:]
+		r.mu.Unlock()
+
+		if !r.stopped.Load() {
+			ctx := &Context{sys: r.sys, self: r, sender: env.sender}
+			metrics.IncMethod() // dynamic dispatch into the behavior
+			r.recv.Receive(ctx, env.msg)
+		}
+		r.sys.messageDone()
+		processed++
+	}
+
+	// Release the scheduling slot and re-schedule if messages remain (or
+	// raced in after the emptiness check).
+	r.state.Store(idle)
+	metrics.IncAtomic()
+	r.mu.Lock()
+	metrics.IncSynch()
+	pending := len(r.queue)
+	r.mu.Unlock()
+	if pending > 0 {
+		r.schedule()
+	}
+}
+
+func (s *System) messageDone() {
+	metrics.IncAtomic()
+	if s.inFlight.Add(-1) == 0 {
+		metrics.IncNotify()
+		select {
+		case s.quiesce <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Stop marks the actor stopped: further messages become dead letters and
+// queued messages are skipped (but still accounted).
+func (r *Ref) Stop() {
+	r.stopped.Store(true)
+	r.sys.mu.Lock()
+	metrics.IncSynch()
+	delete(r.sys.actors, r.name)
+	r.sys.mu.Unlock()
+}
+
+// Context is passed to Receive and exposes the runtime to behaviors.
+type Context struct {
+	sys    *System
+	self   *Ref
+	sender *Ref
+}
+
+// Self returns the reference of the actor processing the message.
+func (c *Context) Self() *Ref { return c.self }
+
+// Sender returns the sending actor's reference, or nil.
+func (c *Context) Sender() *Ref { return c.sender }
+
+// System returns the actor system.
+func (c *Context) System() *System { return c.sys }
+
+// Spawn creates a child actor.
+func (c *Context) Spawn(name string, r Receiver) *Ref { return c.sys.Spawn(name, r) }
+
+// Reply sends a message back to the sender, if there is one.
+func (c *Context) Reply(msg any) {
+	if c.sender != nil {
+		c.sender.TellFrom(msg, c.self)
+	}
+}
+
+// Ask sends msg to the actor and returns a channel that receives the single
+// reply. It spawns a lightweight reply actor, mirroring Akka's ask pattern.
+func (r *Ref) Ask(msg any) <-chan any {
+	reply := make(chan any, 1)
+	tmp := r.sys.Spawn("ask", ReceiverFunc(func(ctx *Context, m any) {
+		reply <- m
+		ctx.Self().Stop()
+	}))
+	r.TellFrom(msg, tmp)
+	return reply
+}

@@ -1,0 +1,221 @@
+package actors
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTellDelivery(t *testing.T) {
+	sys := NewSystem(2)
+	defer sys.Shutdown()
+
+	var got atomic.Int64
+	a := sys.Spawn("adder", ReceiverFunc(func(ctx *Context, msg any) {
+		got.Add(int64(msg.(int)))
+	}))
+	for i := 1; i <= 100; i++ {
+		a.Tell(i)
+	}
+	sys.AwaitQuiescence()
+	if got.Load() != 5050 {
+		t.Errorf("sum = %d, want 5050", got.Load())
+	}
+}
+
+func TestSequentialProcessing(t *testing.T) {
+	// An actor must never process two messages concurrently.
+	sys := NewSystem(4)
+	defer sys.Shutdown()
+
+	var inside atomic.Int32
+	var violations atomic.Int32
+	a := sys.Spawn("serial", ReceiverFunc(func(ctx *Context, msg any) {
+		if inside.Add(1) != 1 {
+			violations.Add(1)
+		}
+		time.Sleep(time.Microsecond)
+		inside.Add(-1)
+	}))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				a.Tell(i)
+			}
+		}()
+	}
+	wg.Wait()
+	sys.AwaitQuiescence()
+	if violations.Load() != 0 {
+		t.Errorf("%d concurrent Receive invocations", violations.Load())
+	}
+}
+
+func TestOrderingPerSender(t *testing.T) {
+	// Messages from one goroutine to one actor arrive in send order.
+	sys := NewSystem(3)
+	defer sys.Shutdown()
+
+	var mu sync.Mutex
+	var order []int
+	a := sys.Spawn("ordered", ReceiverFunc(func(ctx *Context, msg any) {
+		mu.Lock()
+		order = append(order, msg.(int))
+		mu.Unlock()
+	}))
+	const n = 200
+	for i := 0; i < n; i++ {
+		a.Tell(i)
+	}
+	sys.AwaitQuiescence()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != n {
+		t.Fatalf("delivered %d, want %d", len(order), n)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; FIFO violated", i, v)
+		}
+	}
+}
+
+func TestReplyAndSender(t *testing.T) {
+	sys := NewSystem(2)
+	defer sys.Shutdown()
+
+	echo := sys.Spawn("echo", ReceiverFunc(func(ctx *Context, msg any) {
+		if ctx.Sender() == nil {
+			t.Error("nil sender in ask")
+			return
+		}
+		ctx.Reply("echo:" + msg.(string))
+	}))
+	select {
+	case reply := <-echo.Ask("hi"):
+		if reply != "echo:hi" {
+			t.Errorf("reply = %v", reply)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ask timed out")
+	}
+}
+
+func TestSpawnChildrenAndQuiescence(t *testing.T) {
+	// A small fan-out tree computation: each node spawns children and the
+	// total count is accumulated — the akka-uct shape in miniature.
+	sys := NewSystem(4)
+	defer sys.Shutdown()
+
+	var count atomic.Int64
+	var spawnNode func(depth int) *Ref
+	spawnNode = func(depth int) *Ref {
+		return sys.Spawn("node", ReceiverFunc(func(ctx *Context, msg any) {
+			count.Add(1)
+			if depth < 3 {
+				for i := 0; i < 2; i++ {
+					child := spawnNode(depth + 1)
+					child.Tell("visit")
+				}
+			}
+		}))
+	}
+	root := spawnNode(0)
+	root.Tell("visit")
+	sys.AwaitQuiescence()
+	// Full binary tree of depth 3: 1+2+4+8 = 15 visits.
+	if count.Load() != 15 {
+		t.Errorf("visits = %d, want 15", count.Load())
+	}
+}
+
+func TestStopBecomesDeadLetter(t *testing.T) {
+	sys := NewSystem(1)
+	defer sys.Shutdown()
+
+	var received atomic.Int64
+	a := sys.Spawn("stopme", ReceiverFunc(func(ctx *Context, msg any) {
+		received.Add(1)
+	}))
+	a.Tell(1)
+	sys.AwaitQuiescence()
+	a.Stop()
+	a.Tell(2)
+	a.Tell(3)
+	sys.AwaitQuiescence()
+	if received.Load() != 1 {
+		t.Errorf("received = %d, want 1 (post-stop messages dropped)", received.Load())
+	}
+	if _, ok := sys.Lookup("stopme"); ok {
+		t.Error("stopped actor still registered")
+	}
+}
+
+func TestLookupAndNames(t *testing.T) {
+	sys := NewSystem(1)
+	defer sys.Shutdown()
+
+	a := sys.Spawn("worker", ReceiverFunc(func(*Context, any) {}))
+	b := sys.Spawn("worker", ReceiverFunc(func(*Context, any) {}))
+	if a.Name() == b.Name() {
+		t.Errorf("duplicate names: %q vs %q", a.Name(), b.Name())
+	}
+	if ref, ok := sys.Lookup("worker"); !ok || ref != a {
+		t.Error("lookup of original name failed")
+	}
+	if sys.ActorCount() != 2 {
+		t.Errorf("ActorCount = %d, want 2", sys.ActorCount())
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	// Two actors bouncing a counter — the reactors ping-pong workload shape.
+	sys := NewSystem(2)
+	defer sys.Shutdown()
+
+	done := make(chan int, 1)
+	var ping, pong *Ref
+	pong = sys.Spawn("pong", ReceiverFunc(func(ctx *Context, msg any) {
+		ctx.Reply(msg.(int) + 1)
+	}))
+	ping = sys.Spawn("ping", ReceiverFunc(func(ctx *Context, msg any) {
+		n := msg.(int)
+		if n >= 1000 {
+			done <- n
+			return
+		}
+		pong.TellFrom(n, ctx.Self())
+	}))
+	ping.Tell(0)
+	select {
+	case n := <-done:
+		if n < 1000 {
+			t.Errorf("final count = %d", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ping-pong deadlocked")
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	sys := NewSystem(1)
+	sys.Spawn("x", ReceiverFunc(func(*Context, any) {}))
+	sys.Shutdown()
+	sys.Shutdown() // must not panic or deadlock
+}
+
+func TestTellAfterShutdownIsDropped(t *testing.T) {
+	sys := NewSystem(1)
+	var n atomic.Int64
+	a := sys.Spawn("y", ReceiverFunc(func(*Context, any) { n.Add(1) }))
+	a.Tell(1)
+	sys.Shutdown()
+	a.Tell(2) // dead letter, no panic
+	if n.Load() != 1 {
+		t.Errorf("processed = %d, want 1", n.Load())
+	}
+}

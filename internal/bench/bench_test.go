@@ -1,0 +1,103 @@
+// Package bench_test verifies the baseline suites end to end: inventory
+// counts matching the paper's Table 6 and single-iteration runs with
+// validation at reduced size.
+package bench_test
+
+import (
+	"testing"
+
+	"renaissance/internal/core"
+
+	_ "renaissance/internal/bench/classic"
+	_ "renaissance/internal/bench/fn"
+	_ "renaissance/internal/bench/oo"
+	_ "renaissance/internal/bench/renaissance"
+)
+
+func TestSuiteInventories(t *testing.T) {
+	// Table 6 of the paper: 14 DaCapo, 12 ScalaBench, 21 SPECjvm2008
+	// benchmarks, plus the 21 Renaissance benchmarks of Table 1.
+	want := map[string]int{
+		core.SuiteRenaissance: 21,
+		core.SuiteOO:          14,
+		core.SuiteFn:          12,
+		core.SuiteClassic:     21,
+	}
+	for suite, n := range want {
+		got := len(core.Global.BySuite(suite))
+		if got != n {
+			t.Errorf("suite %s has %d benchmarks, want %d", suite, got, n)
+		}
+	}
+}
+
+func TestBaselineSuitesRunAndValidate(t *testing.T) {
+	for _, suite := range []string{core.SuiteOO, core.SuiteFn, core.SuiteClassic} {
+		for _, spec := range core.Global.BySuite(suite) {
+			spec := spec
+			t.Run(suite+"/"+spec.Name, func(t *testing.T) {
+				r := core.NewRunner()
+				r.Config.SizeFactor = 0.05
+				r.WarmupOverride = 1
+				r.MeasuredOverride = 1
+				res, err := r.Run(spec)
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				if res.Profile == nil || res.Profile.RefCycles <= 0 {
+					t.Error("no profile")
+				}
+			})
+		}
+	}
+}
+
+// TestSuiteProfilesContrast reproduces the core PCA intuition (Figure 1):
+// the classic (SPECjvm-like) suite must show far lower object-allocation
+// and dynamic-dispatch rates than the oo and fn suites, and the
+// renaissance suite must dominate the concurrency counters.
+func TestSuiteProfilesContrast(t *testing.T) {
+	avgRate := func(suite string, metric int) float64 {
+		specs := core.Global.BySuite(suite)
+		total, n := 0.0, 0
+		for _, spec := range specs {
+			r := core.NewRunner()
+			r.Config.SizeFactor = 0.05
+			r.WarmupOverride = 1
+			r.MeasuredOverride = 1
+			res, err := r.Run(spec)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", suite, spec.Name, err)
+			}
+			total += float64(res.Profile.Counts.Counts[metric])
+			n++
+		}
+		return total / float64(n)
+	}
+
+	const (
+		atomicIdx = 3
+		parkIdx   = 4
+		objectIdx = 7
+		methodIdx = 9
+	)
+	renAtomic := avgRate(core.SuiteRenaissance, atomicIdx)
+	classicAtomic := avgRate(core.SuiteClassic, atomicIdx)
+	if renAtomic <= classicAtomic*3 {
+		t.Errorf("renaissance atomic avg (%.0f) should dwarf classic (%.0f)", renAtomic, classicAtomic)
+	}
+	ooMethod := avgRate(core.SuiteOO, methodIdx)
+	classicMethod := avgRate(core.SuiteClassic, methodIdx)
+	if ooMethod <= classicMethod {
+		t.Errorf("oo dispatch avg (%.0f) should exceed classic (%.0f)", ooMethod, classicMethod)
+	}
+	fnObject := avgRate(core.SuiteFn, objectIdx)
+	classicObject := avgRate(core.SuiteClassic, objectIdx)
+	if fnObject <= classicObject {
+		t.Errorf("fn allocation avg (%.0f) should exceed classic (%.0f)", fnObject, classicObject)
+	}
+	renPark := avgRate(core.SuiteRenaissance, parkIdx)
+	if renPark <= 0 {
+		t.Errorf("renaissance park avg (%.0f) should be positive", renPark)
+	}
+}

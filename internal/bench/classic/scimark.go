@@ -1,0 +1,354 @@
+package classic
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"renaissance/internal/core"
+)
+
+func init() {
+	register("scimark.fft.large", "Radix-2 FFT round trip, large input.", newFFT(1<<14))
+	register("scimark.fft.small", "Radix-2 FFT round trip, small input.", newFFT(1<<10))
+	register("scimark.lu.large", "LU factorization with partial pivoting, large matrix.", newLU(120))
+	register("scimark.lu.small", "LU factorization with partial pivoting, small matrix.", newLU(48))
+	register("scimark.sor.large", "Successive over-relaxation on a large grid.", newSOR(160))
+	register("scimark.sor.small", "Successive over-relaxation on a small grid.", newSOR(64))
+	register("scimark.sparse.large", "Sparse matrix-vector multiplication, large.", newSparse(6000, 6))
+	register("scimark.sparse.small", "Sparse matrix-vector multiplication, small.", newSparse(1500, 6))
+	register("scimark.monte_carlo", "Monte Carlo estimation of pi.", newMonteCarlo)
+}
+
+// --- FFT ---
+
+type fftWorkload struct {
+	data []complex128
+	orig []complex128
+}
+
+func newFFT(size int) func(core.Config) (core.Workload, error) {
+	return func(cfg core.Config) (core.Workload, error) {
+		n := cfg.Scale(size)
+		// Round down to a power of two.
+		p := 1
+		for p*2 <= n {
+			p *= 2
+		}
+		var r lcg = 42
+		data := make([]complex128, p)
+		noteArrays(2)
+		for i := range data {
+			data[i] = complex(r.float()-0.5, r.float()-0.5)
+		}
+		orig := append([]complex128(nil), data...)
+		return &fftWorkload{data: data, orig: orig}, nil
+	}
+}
+
+// fft performs an in-place iterative radix-2 transform (inverse when
+// inv is true).
+func fft(a []complex128, inv bool) {
+	n := len(a)
+	// Bit reversal.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if inv {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := a[i+j]
+				v := a[i+j+length/2] * w
+				a[i+j] = u + v
+				a[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	if inv {
+		for i := range a {
+			a[i] /= complex(float64(n), 0)
+		}
+	}
+}
+
+func (w *fftWorkload) RunIteration() error {
+	fft(w.data, false)
+	fft(w.data, true)
+	return nil
+}
+
+func (w *fftWorkload) Validate() error {
+	for i := range w.data {
+		if cmplx.Abs(w.data[i]-w.orig[i]) > 1e-9 {
+			return fmt.Errorf("fft: round trip diverged at %d", i)
+		}
+	}
+	return nil
+}
+
+// --- LU ---
+
+type luWorkload struct {
+	a        [][]float64
+	n        int
+	residual float64
+}
+
+func newLU(size int) func(core.Config) (core.Workload, error) {
+	return func(cfg core.Config) (core.Workload, error) {
+		n := cfg.Scale(size)
+		if n < 4 {
+			n = 4
+		}
+		var r lcg = 7
+		a := make([][]float64, n)
+		noteArrays(int64(n) + 1)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = r.float() - 0.5
+			}
+			a[i][i] += float64(n) // diagonal dominance
+		}
+		return &luWorkload{a: a, n: n}, nil
+	}
+}
+
+func (w *luWorkload) RunIteration() error {
+	n := w.n
+	// Copy, factorize, and solve a system to exercise the triangular
+	// sweeps as well.
+	lu := make([][]float64, n)
+	for i := range lu {
+		lu[i] = append([]float64(nil), w.a[i]...)
+	}
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	for col := 0; col < n; col++ {
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(lu[r][col]) > math.Abs(lu[p][col]) {
+				p = r
+			}
+		}
+		lu[col], lu[p] = lu[p], lu[col]
+		piv[col], piv[p] = piv[p], piv[col]
+		for r := col + 1; r < n; r++ {
+			f := lu[r][col] / lu[col][col]
+			lu[r][col] = f
+			for c := col + 1; c < n; c++ {
+				lu[r][c] -= f * lu[col][c]
+			}
+		}
+	}
+	// Solve A x = b with b = row sums (so x = all ones).
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += w.a[piv[i]][j]
+		}
+		b[i] = s
+	}
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			b[i] -= lu[i][j] * b[j]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			b[i] -= lu[i][j] * b[j]
+		}
+		b[i] /= lu[i][i]
+	}
+	w.residual = 0
+	for i := range b {
+		w.residual += math.Abs(b[i] - 1)
+	}
+	return nil
+}
+
+func (w *luWorkload) Validate() error {
+	if w.residual > 1e-6*float64(w.n) {
+		return fmt.Errorf("lu: residual %g too large", w.residual)
+	}
+	return nil
+}
+
+// --- SOR ---
+
+type sorWorkload struct {
+	n     int
+	iters int
+	grid  [][]float64
+}
+
+func newSOR(size int) func(core.Config) (core.Workload, error) {
+	return func(cfg core.Config) (core.Workload, error) {
+		n := cfg.Scale(size)
+		if n < 8 {
+			n = 8
+		}
+		return &sorWorkload{n: n, iters: 30}, nil
+	}
+}
+
+func (w *sorWorkload) RunIteration() error {
+	n := w.n
+	g := make([][]float64, n)
+	noteArrays(int64(n) + 1)
+	for i := range g {
+		g[i] = make([]float64, n)
+	}
+	// Hot boundary on one edge.
+	for j := 0; j < n; j++ {
+		g[0][j] = 100
+	}
+	const omega = 1.25
+	for it := 0; it < w.iters; it++ {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				g[i][j] = omega*0.25*(g[i-1][j]+g[i+1][j]+g[i][j-1]+g[i][j+1]) +
+					(1-omega)*g[i][j]
+			}
+		}
+	}
+	w.grid = g
+	return nil
+}
+
+func (w *sorWorkload) Validate() error {
+	// Heat must have diffused into the interior, monotone by row.
+	if w.grid[1][w.n/2] <= w.grid[w.n-2][w.n/2] {
+		return fmt.Errorf("sor: no gradient from hot edge (%.3f vs %.3f)",
+			w.grid[1][w.n/2], w.grid[w.n-2][w.n/2])
+	}
+	if w.grid[1][w.n/2] <= 0 {
+		return fmt.Errorf("sor: interior stayed cold")
+	}
+	return nil
+}
+
+// --- sparse matvec ---
+
+type sparseWorkload struct {
+	n        int
+	nnzPer   int
+	cols     [][]int
+	vals     [][]float64
+	checksum float64
+}
+
+func newSparse(size, nnzPer int) func(core.Config) (core.Workload, error) {
+	return func(cfg core.Config) (core.Workload, error) {
+		n := cfg.Scale(size)
+		if n < 16 {
+			n = 16
+		}
+		var r lcg = 13
+		w := &sparseWorkload{n: n, nnzPer: nnzPer}
+		w.cols = make([][]int, n)
+		w.vals = make([][]float64, n)
+		noteArrays(int64(2*n) + 2)
+		for i := 0; i < n; i++ {
+			w.cols[i] = make([]int, nnzPer)
+			w.vals[i] = make([]float64, nnzPer)
+			for k := 0; k < nnzPer; k++ {
+				w.cols[i][k] = int(r.next() % uint64(n))
+				w.vals[i][k] = r.float()
+			}
+		}
+		return w, nil
+	}
+}
+
+func (w *sparseWorkload) RunIteration() error {
+	x := make([]float64, w.n)
+	y := make([]float64, w.n)
+	for i := range x {
+		x[i] = 1
+	}
+	for pass := 0; pass < 20; pass++ {
+		for i := 0; i < w.n; i++ {
+			s := 0.0
+			for k := 0; k < w.nnzPer; k++ {
+				s += w.vals[i][k] * x[w.cols[i][k]]
+			}
+			y[i] = s
+		}
+		// Normalize to keep values bounded, then swap.
+		max := 0.0
+		for _, v := range y {
+			if math.Abs(v) > max {
+				max = math.Abs(v)
+			}
+		}
+		if max == 0 {
+			return fmt.Errorf("sparse: zero vector")
+		}
+		for i := range y {
+			y[i] /= max
+		}
+		x, y = y, x
+	}
+	w.checksum = 0
+	for _, v := range x {
+		w.checksum += v
+	}
+	return nil
+}
+
+func (w *sparseWorkload) Validate() error {
+	if math.IsNaN(w.checksum) || w.checksum == 0 {
+		return fmt.Errorf("sparse: bad checksum %v", w.checksum)
+	}
+	return nil
+}
+
+// --- monte carlo ---
+
+type monteCarloWorkload struct {
+	samples int
+	pi      float64
+}
+
+func newMonteCarlo(cfg core.Config) (core.Workload, error) {
+	return &monteCarloWorkload{samples: cfg.Scale(2_000_000)}, nil
+}
+
+func (w *monteCarloWorkload) RunIteration() error {
+	var r lcg = 99
+	inside := 0
+	for i := 0; i < w.samples; i++ {
+		x := r.float()
+		y := r.float()
+		if x*x+y*y <= 1 {
+			inside++
+		}
+	}
+	w.pi = 4 * float64(inside) / float64(w.samples)
+	return nil
+}
+
+func (w *monteCarloWorkload) Validate() error {
+	if math.Abs(w.pi-math.Pi) > 0.05 {
+		return fmt.Errorf("monte_carlo: pi estimate %.4f too far off", w.pi)
+	}
+	return nil
+}

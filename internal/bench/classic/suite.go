@@ -1,0 +1,43 @@
+// Package classic implements 21 SPECjvm2008-like workloads: compute-bound
+// numeric kernels, codecs, and serializers that exercise classic compiler
+// optimizations rather than concurrency (the paper's §8 characterization:
+// "most of the SPECjvm2008 benchmarks are considerably smaller ... and do
+// not use a lot of object-oriented abstractions"). They provide the
+// low-allocation / high-CPU cluster of the PCA comparison (Figure 1).
+//
+// Importing this package registers the workloads under core.SuiteClassic.
+package classic
+
+import (
+	"renaissance/internal/core"
+	"renaissance/internal/metrics"
+)
+
+func register(name, description string, setup func(core.Config) (core.Workload, error)) {
+	core.Register(core.Spec{
+		Name:        name,
+		Suite:       core.SuiteClassic,
+		Description: description,
+		Focus:       []string{"compute-bound"},
+		Warmup:      2,
+		Measured:    5,
+		Setup:       setup,
+	})
+}
+
+// lcg is the deterministic generator the numeric kernels share.
+type lcg uint64
+
+func (l *lcg) next() uint64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return uint64(*l)
+}
+
+func (l *lcg) float() float64 {
+	return float64(l.next()>>11) / float64(1<<53)
+}
+
+// note records a coarse allocation event for workloads that build large
+// numeric buffers, keeping the suite's object/array profile honest without
+// per-element instrumentation noise.
+func noteArrays(n int64) { metrics.AddArray(n) }

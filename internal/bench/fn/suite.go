@@ -1,0 +1,29 @@
+// Package fn implements 12 ScalaBench-like workloads: functional,
+// collection-heavy programs with high allocation rates and closure
+// dispatch — the paper's characterization of Scala programs, which
+// "exhibit a significantly different behavior compared to Java programs"
+// (§1). The workloads lean on the streams library, whose higher-order
+// operations record the idynamic metric the way Scala closures compile to
+// invokedynamic on modern JVMs.
+//
+// Importing this package registers the workloads under core.SuiteFn.
+package fn
+
+import (
+	"renaissance/internal/core"
+	"renaissance/internal/metrics"
+)
+
+func register(name, description string, setup func(core.Config) (core.Workload, error)) {
+	core.Register(core.Spec{
+		Name:        name,
+		Suite:       core.SuiteFn,
+		Description: description,
+		Focus:       []string{"functional", "collections"},
+		Warmup:      2,
+		Measured:    5,
+		Setup:       setup,
+	})
+}
+
+func allocated(n int64) { metrics.AddObject(n) }

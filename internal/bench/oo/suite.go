@@ -1,0 +1,34 @@
+// Package oo implements 14 DaCapo-like workloads: object-oriented,
+// allocation- and dispatch-heavy applications with little modern
+// concurrency — the paper's characterization of DaCapo, whose original
+// motivation was "to understand memory behavior of complex Java
+// applications" (§8). Virtual dispatch happens through Go interfaces and
+// is recorded via the metrics package at each polymorphic call site, the
+// same instrumentation boundary the paper's DiSL profiler uses.
+//
+// Importing this package registers the workloads under core.SuiteOO.
+package oo
+
+import (
+	"renaissance/internal/core"
+	"renaissance/internal/metrics"
+)
+
+func register(name, description string, setup func(core.Config) (core.Workload, error)) {
+	core.Register(core.Spec{
+		Name:        name,
+		Suite:       core.SuiteOO,
+		Description: description,
+		Focus:       []string{"object-oriented"},
+		Warmup:      2,
+		Measured:    5,
+		Setup:       setup,
+	})
+}
+
+// dispatch records one interface-dispatched call (the invokevirtual /
+// invokeinterface analogue).
+func dispatch() { metrics.IncMethod() }
+
+// allocated records n object allocations.
+func allocated(n int64) { metrics.AddObject(n) }

@@ -1,0 +1,797 @@
+package oo
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+
+	"renaissance/internal/core"
+	"renaissance/internal/memdb"
+	"renaissance/internal/minilang"
+	"renaissance/internal/rvm"
+)
+
+func init() {
+	register("avrora", "Discrete-event microcontroller simulation.", newAvrora)
+	register("batik", "Polygon rasterization onto a coverage grid.", newBatik)
+	register("eclipse", "Workspace model build: parse and index a source corpus.", newEclipse)
+	register("fop", "Greedy paragraph-to-line layout of generated text.", newFop)
+	register("h2", "Embedded-database table operations on the B-tree engine.", newH2)
+	register("jython", "Interpret compiled minilang programs on the RVM.", newJython)
+	register("luindex", "Build an inverted text index.", newLuindex)
+	register("lusearch-fix", "Query an inverted text index.", newLusearch)
+	register("pmd", "Static analysis rules over minilang syntax trees.", newPMD)
+	register("sunflow", "Object-oriented ray tracing with shape polymorphism.", newOOSunflow)
+	register("tomcat", "Request routing through handler-object chains.", newTomcat)
+	register("tradebeans", "Order matching over bean-style object graphs.", newTrade("tradebeans", 1))
+	register("tradesoap", "Order matching with serialized message envelopes.", newTrade("tradesoap", 2))
+	register("xalan", "Tree-to-tree transformation of a document model.", newXalan)
+}
+
+// --- avrora: discrete event simulation ---
+
+// device is the polymorphic simulation component.
+type device interface {
+	tick(now int64) (next int64, work int)
+}
+
+type timerDev struct{ period int64 }
+type uartDev struct{ state int }
+type adcDev struct{ acc int }
+
+func (d *timerDev) tick(now int64) (int64, int) { return now + d.period, 1 }
+func (d *uartDev) tick(now int64) (int64, int) {
+	d.state = (d.state*31 + 7) % 97
+	return now + int64(3+d.state%5), d.state % 3
+}
+func (d *adcDev) tick(now int64) (int64, int) {
+	d.acc += int(now % 13)
+	return now + 11, d.acc % 2
+}
+
+type event struct {
+	at  int64
+	dev device
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int           { return len(q) }
+func (q eventQueue) Less(i, j int) bool { return q[i].at < q[j].at }
+func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)        { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any          { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+type avroraWorkload struct {
+	horizon int64
+	events  int
+}
+
+func newAvrora(cfg core.Config) (core.Workload, error) {
+	return &avroraWorkload{horizon: int64(cfg.Scale(60000))}, nil
+}
+
+func (w *avroraWorkload) RunIteration() error {
+	var q eventQueue
+	for i := 0; i < 8; i++ {
+		allocated(1)
+		var d device
+		switch i % 3 {
+		case 0:
+			d = &timerDev{period: int64(5 + i)}
+		case 1:
+			d = &uartDev{state: i}
+		default:
+			d = &adcDev{}
+		}
+		heap.Push(&q, event{int64(i), d})
+	}
+	w.events = 0
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(event)
+		if e.at > w.horizon {
+			break
+		}
+		dispatch()
+		next, _ := e.dev.tick(e.at)
+		w.events++
+		heap.Push(&q, event{next, e.dev})
+	}
+	return nil
+}
+
+func (w *avroraWorkload) Validate() error {
+	if w.events < int(w.horizon/20) {
+		return fmt.Errorf("avrora: only %d events simulated", w.events)
+	}
+	return nil
+}
+
+// --- batik: polygon rasterization ---
+
+type batikWorkload struct {
+	size    int
+	covered int
+}
+
+func newBatik(cfg core.Config) (core.Workload, error) {
+	return &batikWorkload{size: cfg.Scale(250)}, nil
+}
+
+func (w *batikWorkload) RunIteration() error {
+	n := w.size
+	grid := make([]bool, n*n)
+	// Rasterize a fan of triangles with the half-plane test.
+	type pt struct{ x, y float64 }
+	inTri := func(p, a, b, c pt) bool {
+		sign := func(p1, p2, p3 pt) float64 {
+			return (p1.x-p3.x)*(p2.y-p3.y) - (p2.x-p3.x)*(p1.y-p3.y)
+		}
+		d1, d2, d3 := sign(p, a, b), sign(p, b, c), sign(p, c, a)
+		neg := d1 < 0 || d2 < 0 || d3 < 0
+		pos := d1 > 0 || d2 > 0 || d3 > 0
+		return !(neg && pos)
+	}
+	center := pt{float64(n) / 2, float64(n) / 2}
+	for t := 0; t < 12; t++ {
+		allocated(1)
+		a := center
+		b := pt{float64((t * 37) % n), float64((t * 61) % n)}
+		c := pt{float64((t*53 + 20) % n), float64((t*29 + 40) % n)}
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				if inTri(pt{float64(x), float64(y)}, a, b, c) {
+					grid[y*n+x] = true
+				}
+			}
+		}
+	}
+	w.covered = 0
+	for _, v := range grid {
+		if v {
+			w.covered++
+		}
+	}
+	return nil
+}
+
+func (w *batikWorkload) Validate() error {
+	if w.covered == 0 || w.covered >= w.size*w.size {
+		return fmt.Errorf("batik: implausible coverage %d", w.covered)
+	}
+	return nil
+}
+
+// --- eclipse: workspace build ---
+
+type eclipseWorkload struct {
+	corpus []string
+	index  map[string][]int
+}
+
+func newEclipse(cfg core.Config) (core.Workload, error) {
+	return &eclipseWorkload{corpus: minilang.Corpus(cfg.Scale(20))}, nil
+}
+
+func (w *eclipseWorkload) RunIteration() error {
+	w.index = make(map[string][]int)
+	for i, src := range w.corpus {
+		ast, err := minilang.Parse(src)
+		if err != nil {
+			return err
+		}
+		if err := minilang.Check(ast); err != nil {
+			return err
+		}
+		for _, fn := range ast.Funcs {
+			allocated(1)
+			w.index[fn.Name] = append(w.index[fn.Name], i)
+		}
+	}
+	return nil
+}
+
+func (w *eclipseWorkload) Validate() error {
+	if len(w.index["main"]) != len(w.corpus) {
+		return fmt.Errorf("eclipse: indexed %d mains, want %d", len(w.index["main"]), len(w.corpus))
+	}
+	return nil
+}
+
+// --- fop: text layout ---
+
+type fopWorkload struct {
+	words []string
+	width int
+	lines int
+}
+
+func newFop(cfg core.Config) (core.Workload, error) {
+	var words []string
+	base := []string{"the", "formatting", "objects", "processor", "lays", "out",
+		"paragraphs", "into", "justified", "lines", "of", "fixed", "width"}
+	n := cfg.Scale(20000)
+	for i := 0; i < n; i++ {
+		words = append(words, base[i%len(base)])
+	}
+	return &fopWorkload{words: words, width: 72}, nil
+}
+
+func (w *fopWorkload) RunIteration() error {
+	w.lines = 0
+	col := 0
+	for _, word := range w.words {
+		need := len(word)
+		if col > 0 {
+			need++
+		}
+		if col+need > w.width {
+			w.lines++
+			col = len(word)
+		} else {
+			col += need
+		}
+	}
+	if col > 0 {
+		w.lines++
+	}
+	return nil
+}
+
+func (w *fopWorkload) Validate() error {
+	if w.lines == 0 {
+		return fmt.Errorf("fop: no lines laid out")
+	}
+	// Every line fits the measure by construction; sanity check density.
+	if w.lines > len(w.words) {
+		return fmt.Errorf("fop: more lines than words")
+	}
+	return nil
+}
+
+// --- h2: embedded table operations ---
+
+type h2Workload struct {
+	rows int
+}
+
+func newH2(cfg core.Config) (core.Workload, error) {
+	return &h2Workload{rows: cfg.Scale(2500)}, nil
+}
+
+func (w *h2Workload) RunIteration() error {
+	table := memdb.NewBTree()
+	// Insert, update, select, and aggregate — a TPC-ish single-user mix.
+	for i := 0; i < w.rows; i++ {
+		table.Put(fmt.Sprintf("acct-%07d", i), []byte{byte(i), byte(i >> 8), 0})
+	}
+	for i := 0; i < w.rows; i += 3 {
+		key := fmt.Sprintf("acct-%07d", i)
+		if v, ok := table.Get(key); ok {
+			v2 := append([]byte(nil), v...)
+			v2[2]++
+			table.Put(key, v2)
+		}
+	}
+	updated := 0
+	table.Range("acct-", "acct-~", func(k string, v []byte) bool {
+		if len(v) == 3 && v[2] > 0 {
+			updated++
+		}
+		return true
+	})
+	want := (w.rows + 2) / 3
+	if updated != want {
+		return fmt.Errorf("h2: %d updated rows, want %d", updated, want)
+	}
+	return nil
+}
+
+// --- jython: interpret programs ---
+
+type jythonWorkload struct {
+	programs []*rvm.Program
+	want     []int64
+}
+
+func newJython(cfg core.Config) (core.Workload, error) {
+	w := &jythonWorkload{}
+	for _, src := range minilang.Corpus(cfg.Scale(12)) {
+		p, err := minilang.Compile(src)
+		if err != nil {
+			return nil, err
+		}
+		v, err := rvm.NewInterp(p).Run()
+		if err != nil {
+			return nil, err
+		}
+		w.programs = append(w.programs, p)
+		w.want = append(w.want, v.AsInt())
+	}
+	return w, nil
+}
+
+func (w *jythonWorkload) RunIteration() error {
+	for i, p := range w.programs {
+		v, err := rvm.NewInterp(p).Run()
+		if err != nil {
+			return err
+		}
+		if v.AsInt() != w.want[i] {
+			return fmt.Errorf("jython: program %d returned %d, want %d", i, v.AsInt(), w.want[i])
+		}
+	}
+	return nil
+}
+
+// --- luindex / lusearch ---
+
+func textCorpus(cfg core.Config, docs int) []string {
+	vocab := []string{"renaissance", "benchmark", "parallel", "virtual", "machine",
+		"compiler", "optimization", "thread", "memory", "object", "stream",
+		"actor", "future", "atomic", "lock", "graph", "index", "query"}
+	rng := cfg.Rand("text-corpus")
+	out := make([]string, docs)
+	for d := range out {
+		var b strings.Builder
+		for k := 0; k < 60; k++ {
+			b.WriteString(vocab[rng.Intn(len(vocab))])
+			b.WriteByte(' ')
+		}
+		out[d] = b.String()
+	}
+	return out
+}
+
+func buildIndex(docs []string) map[string][]int {
+	idx := make(map[string][]int)
+	for d, doc := range docs {
+		seen := map[string]bool{}
+		for _, tok := range strings.Fields(doc) {
+			if !seen[tok] {
+				seen[tok] = true
+				allocated(1)
+				idx[tok] = append(idx[tok], d)
+			}
+		}
+	}
+	return idx
+}
+
+type luindexWorkload struct {
+	docs  []string
+	terms int
+}
+
+func newLuindex(cfg core.Config) (core.Workload, error) {
+	return &luindexWorkload{docs: textCorpus(cfg, cfg.Scale(400))}, nil
+}
+
+func (w *luindexWorkload) RunIteration() error {
+	idx := buildIndex(w.docs)
+	w.terms = len(idx)
+	return nil
+}
+
+func (w *luindexWorkload) Validate() error {
+	if w.terms == 0 {
+		return fmt.Errorf("luindex: empty index")
+	}
+	return nil
+}
+
+type lusearchWorkload struct {
+	idx     map[string][]int
+	queries []string
+	hits    int
+}
+
+func newLusearch(cfg core.Config) (core.Workload, error) {
+	docs := textCorpus(cfg, cfg.Scale(300))
+	queries := []string{"parallel machine", "benchmark optimization", "atomic lock",
+		"graph query", "stream actor future"}
+	var all []string
+	for i := 0; i < cfg.Scale(2000); i++ {
+		all = append(all, queries[i%len(queries)])
+	}
+	return &lusearchWorkload{idx: buildIndex(docs), queries: all}, nil
+}
+
+func (w *lusearchWorkload) RunIteration() error {
+	w.hits = 0
+	for _, q := range w.queries {
+		// Conjunctive query: intersect posting lists.
+		var result []int
+		for t, term := range strings.Fields(q) {
+			posting := w.idx[term]
+			if t == 0 {
+				result = append([]int(nil), posting...)
+				continue
+			}
+			var merged []int
+			i, j := 0, 0
+			for i < len(result) && j < len(posting) {
+				switch {
+				case result[i] == posting[j]:
+					merged = append(merged, result[i])
+					i++
+					j++
+				case result[i] < posting[j]:
+					i++
+				default:
+					j++
+				}
+			}
+			result = merged
+		}
+		w.hits += len(result)
+	}
+	return nil
+}
+
+func (w *lusearchWorkload) Validate() error {
+	if w.hits == 0 {
+		return fmt.Errorf("lusearch: no hits")
+	}
+	return nil
+}
+
+// --- pmd: AST analysis rules ---
+
+type pmdWorkload struct {
+	asts       []*minilang.ProgramAST
+	violations int
+}
+
+func newPMD(cfg core.Config) (core.Workload, error) {
+	w := &pmdWorkload{}
+	for _, src := range minilang.Corpus(cfg.Scale(24)) {
+		ast, err := minilang.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		w.asts = append(w.asts, ast)
+	}
+	return w, nil
+}
+
+// countStmts walks statements, applying two "rules": deep nesting and
+// long functions.
+func countStmts(b *minilang.Block, depth int, violations *int) int {
+	n := 0
+	for _, s := range b.Stmts {
+		n++
+		switch s := s.(type) {
+		case *minilang.If:
+			if depth >= 3 {
+				*violations++
+			}
+			n += countStmts(s.Then, depth+1, violations)
+			if s.Else != nil {
+				n += countStmts(s.Else, depth+1, violations)
+			}
+		case *minilang.While:
+			n += countStmts(s.Body, depth+1, violations)
+		}
+	}
+	return n
+}
+
+func (w *pmdWorkload) RunIteration() error {
+	w.violations = 0
+	total := 0
+	for _, ast := range w.asts {
+		for _, fn := range ast.Funcs {
+			dispatch()
+			n := countStmts(fn.Body, 0, &w.violations)
+			if n > 50 {
+				w.violations++
+			}
+			total += n
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("pmd: no statements analyzed")
+	}
+	return nil
+}
+
+// --- sunflow (oo variant): shape polymorphism ---
+
+type shape interface{ hit(x, y float64) bool }
+
+type circle struct{ cx, cy, r float64 }
+type square struct{ cx, cy, half float64 }
+type ring struct{ cx, cy, inner, outer float64 }
+
+func (c circle) hit(x, y float64) bool {
+	dx, dy := x-c.cx, y-c.cy
+	return dx*dx+dy*dy <= c.r*c.r
+}
+func (s square) hit(x, y float64) bool {
+	dx, dy := x-s.cx, y-s.cy
+	return dx >= -s.half && dx <= s.half && dy >= -s.half && dy <= s.half
+}
+func (r ring) hit(x, y float64) bool {
+	dx, dy := x-r.cx, y-r.cy
+	d := dx*dx + dy*dy
+	return d >= r.inner*r.inner && d <= r.outer*r.outer
+}
+
+type ooSunflowWorkload struct {
+	size    int
+	shapes  []shape
+	covered int
+}
+
+func newOOSunflow(cfg core.Config) (core.Workload, error) {
+	n := cfg.Scale(220)
+	if n < 20 {
+		n = 20
+	}
+	// Shape geometry scales with the grid so coverage stays partial at
+	// every size factor.
+	s := float64(n)
+	var shapes []shape
+	for i := 0; i < 9; i++ {
+		allocated(1)
+		fi := float64(i)
+		switch i % 3 {
+		case 0:
+			shapes = append(shapes, circle{fi * s * 0.09, fi * s * 0.07, s * 0.08})
+		case 1:
+			shapes = append(shapes, square{fi * s * 0.08, s*0.55 - fi*s*0.04, s * 0.06})
+		default:
+			shapes = append(shapes, ring{s*0.45 - fi*s*0.03, fi * s * 0.1, s * 0.03, s * 0.07})
+		}
+	}
+	return &ooSunflowWorkload{size: n, shapes: shapes}, nil
+}
+
+func (w *ooSunflowWorkload) RunIteration() error {
+	w.covered = 0
+	for y := 0; y < w.size; y++ {
+		for x := 0; x < w.size; x++ {
+			for _, s := range w.shapes {
+				dispatch()
+				if s.hit(float64(x), float64(y)) {
+					w.covered++
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (w *ooSunflowWorkload) Validate() error {
+	if w.covered == 0 || w.covered >= w.size*w.size {
+		return fmt.Errorf("sunflow: implausible coverage %d", w.covered)
+	}
+	return nil
+}
+
+// --- tomcat: request routing ---
+
+type handler interface {
+	serve(path string, depth int) int
+}
+
+type staticHandler struct{ weight int }
+type paramHandler struct{ weight int }
+type chainHandler struct {
+	next handler
+	add  int
+}
+
+func (h staticHandler) serve(path string, depth int) int { return h.weight + len(path) }
+func (h paramHandler) serve(path string, depth int) int  { return h.weight * (depth + 1) }
+func (h chainHandler) serve(path string, depth int) int {
+	dispatch()
+	return h.add + h.next.serve(path, depth+1)
+}
+
+type tomcatWorkload struct {
+	routes   map[string]handler
+	requests []string
+	total    int
+}
+
+func newTomcat(cfg core.Config) (core.Workload, error) {
+	routes := map[string]handler{}
+	paths := []string{"/", "/index", "/api/users", "/api/orders", "/static/app.js", "/health"}
+	for i, p := range paths {
+		allocated(1)
+		var h handler
+		if i%2 == 0 {
+			h = staticHandler{weight: i + 1}
+		} else {
+			h = paramHandler{weight: i + 2}
+		}
+		// Wrap in a middleware chain.
+		for d := 0; d < 3; d++ {
+			h = chainHandler{next: h, add: d}
+		}
+		routes[p] = h
+	}
+	var reqs []string
+	n := cfg.Scale(30000)
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, paths[i%len(paths)])
+	}
+	return &tomcatWorkload{routes: routes, requests: reqs}, nil
+}
+
+func (w *tomcatWorkload) RunIteration() error {
+	w.total = 0
+	for _, r := range w.requests {
+		h, ok := w.routes[r]
+		if !ok {
+			return fmt.Errorf("tomcat: no route for %s", r)
+		}
+		dispatch()
+		w.total += h.serve(r, 0)
+	}
+	return nil
+}
+
+func (w *tomcatWorkload) Validate() error {
+	if w.total == 0 {
+		return fmt.Errorf("tomcat: no work")
+	}
+	return nil
+}
+
+// --- tradebeans / tradesoap: order matching ---
+
+type order struct {
+	id    int
+	buy   bool
+	price int
+	qty   int
+}
+
+type tradeWorkload struct {
+	name     string
+	envelope int // tradesoap wraps orders in string envelopes
+	orders   []order
+	matched  int
+}
+
+func newTrade(name string, envelope int) func(core.Config) (core.Workload, error) {
+	return func(cfg core.Config) (core.Workload, error) {
+		var r lcgState = 91
+		n := cfg.Scale(8000)
+		w := &tradeWorkload{name: name, envelope: envelope}
+		for i := 0; i < n; i++ {
+			w.orders = append(w.orders, order{
+				id:    i,
+				buy:   r.next()%2 == 0,
+				price: 90 + int(r.next()%21),
+				qty:   1 + int(r.next()%10),
+			})
+		}
+		return w, nil
+	}
+}
+
+type lcgState uint64
+
+func (l *lcgState) next() uint64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return uint64(*l) >> 33
+}
+
+func (w *tradeWorkload) RunIteration() error {
+	// Price-sorted books with greedy matching.
+	var bids, asks []order
+	w.matched = 0
+	for _, o := range w.orders {
+		allocated(1)
+		if w.envelope > 1 {
+			// tradesoap: serialize/deserialize an envelope per order.
+			env := fmt.Sprintf("<order id=%d buy=%v price=%d qty=%d/>", o.id, o.buy, o.price, o.qty)
+			if !strings.Contains(env, "price") {
+				return fmt.Errorf("%s: bad envelope", w.name)
+			}
+		}
+		if o.buy {
+			bids = append(bids, o)
+		} else {
+			asks = append(asks, o)
+		}
+	}
+	sort.Slice(bids, func(i, j int) bool { return bids[i].price > bids[j].price })
+	sort.Slice(asks, func(i, j int) bool { return asks[i].price < asks[j].price })
+	bi, ai := 0, 0
+	for bi < len(bids) && ai < len(asks) && bids[bi].price >= asks[ai].price {
+		q := bids[bi].qty
+		if asks[ai].qty < q {
+			q = asks[ai].qty
+		}
+		bids[bi].qty -= q
+		asks[ai].qty -= q
+		w.matched += q
+		if bids[bi].qty == 0 {
+			bi++
+		}
+		if asks[ai].qty == 0 {
+			ai++
+		}
+	}
+	return nil
+}
+
+func (w *tradeWorkload) Validate() error {
+	if w.matched == 0 {
+		return fmt.Errorf("%s: no trades matched", w.name)
+	}
+	return nil
+}
+
+// --- xalan: document transformation ---
+
+type node struct {
+	tag      string
+	text     string
+	children []*node
+}
+
+type xalanWorkload struct {
+	root  *node
+	nodes int
+}
+
+func newXalan(cfg core.Config) (core.Workload, error) {
+	// Build a document tree.
+	var build func(depth, fan int) *node
+	count := 0
+	build = func(depth, fan int) *node {
+		count++
+		allocated(1)
+		n := &node{tag: fmt.Sprintf("e%d", depth), text: strings.Repeat("x", depth)}
+		if depth > 0 {
+			for i := 0; i < fan; i++ {
+				n.children = append(n.children, build(depth-1, fan))
+			}
+		}
+		return n
+	}
+	depth := 6
+	fan := 3
+	if cfg.SizeFactor < 0.5 {
+		depth = 5
+	}
+	root := build(depth, fan)
+	return &xalanWorkload{root: root, nodes: count}, nil
+}
+
+// transform maps a tree to a new tree, uppercasing tags and reversing
+// children (a stylesheet-ish structural rewrite).
+func transform(n *node) *node {
+	allocated(1)
+	out := &node{tag: strings.ToUpper(n.tag), text: n.text}
+	for i := len(n.children) - 1; i >= 0; i-- {
+		out.children = append(out.children, transform(n.children[i]))
+	}
+	return out
+}
+
+func countNodes(n *node) int {
+	c := 1
+	for _, ch := range n.children {
+		c += countNodes(ch)
+	}
+	return c
+}
+
+func (w *xalanWorkload) RunIteration() error {
+	for pass := 0; pass < 20; pass++ {
+		out := transform(w.root)
+		if countNodes(out) != w.nodes {
+			return fmt.Errorf("xalan: transformed tree has wrong size")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package renaissance
+
+import (
+	"fmt"
+	"sync"
+
+	"renaissance/internal/core"
+	"renaissance/internal/minilang"
+	"renaissance/internal/rvm"
+)
+
+func init() {
+	register("dotty",
+		"Compiles a minilang source corpus with the full compiler pipeline.",
+		[]string{"data-structures", "synchronization"}, newDotty)
+}
+
+// dottyWorkload compiles a corpus of source units (lex, parse, typecheck,
+// codegen) and executes each compiled unit, with a shared symbol cache
+// guarded by a mutex — the compiler-as-benchmark shape of the original
+// dotty workload.
+type dottyWorkload struct {
+	corpus []string
+	want   []int64 // per-unit expected checksums (computed at setup)
+
+	mu    sync.Mutex
+	cache map[string]int
+}
+
+func newDotty(cfg core.Config) (core.Workload, error) {
+	w := &dottyWorkload{
+		corpus: minilang.Corpus(cfg.Scale(24)),
+		cache:  make(map[string]int),
+	}
+	for i, src := range w.corpus {
+		p, err := minilang.Compile(src)
+		if err != nil {
+			return nil, fmt.Errorf("dotty: corpus unit %d: %w", i, err)
+		}
+		v, err := rvm.NewInterp(p).Run()
+		if err != nil {
+			return nil, fmt.Errorf("dotty: corpus unit %d run: %w", i, err)
+		}
+		w.want = append(w.want, v.AsInt())
+	}
+	return w, nil
+}
+
+func (w *dottyWorkload) RunIteration() error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(w.corpus))
+	// Compile units concurrently, the way a compiler daemon compiles
+	// multiple files, sharing a lock-guarded cache of unit fingerprints.
+	sem := make(chan struct{}, 4)
+	for i, src := range w.corpus {
+		wg.Add(1)
+		go func(i int, src string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			p, err := minilang.Compile(src)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			v, err := rvm.NewInterp(p).Run()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if v.AsInt() != w.want[i] {
+				errCh <- fmt.Errorf("dotty: unit %d checksum %d, want %d", i, v.AsInt(), w.want[i])
+				return
+			}
+			w.mu.Lock()
+			w.cache[src[:24]] = int(v.AsInt())
+			w.mu.Unlock()
+		}(i, src)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+	return nil
+}
+
+func (w *dottyWorkload) Validate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.cache) == 0 {
+		return fmt.Errorf("dotty: nothing compiled")
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package renaissance
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"renaissance/internal/core"
+	"renaissance/internal/futures"
+	"renaissance/internal/netstack"
+)
+
+func init() {
+	register("finagle-http",
+		"High server load over the loopback request/response framework.",
+		[]string{"network stack", "message-passing"}, newFinagleHTTP)
+	register("finagle-chirper",
+		"A microblogging service with futures and atomic counters over loopback.",
+		[]string{"network stack", "futures", "atomics"}, newFinagleChirper)
+}
+
+// --- finagle-http ---
+
+type finagleHTTPWorkload struct {
+	requests int
+	clients  int
+	served   int64
+}
+
+func newFinagleHTTP(cfg core.Config) (core.Workload, error) {
+	return &finagleHTTPWorkload{
+		requests: cfg.Scale(600),
+		clients:  4,
+	}, nil
+}
+
+func (w *finagleHTTPWorkload) RunIteration() error {
+	srv, err := netstack.Serve("127.0.0.1:0", func(req []byte) *futures.Future[[]byte] {
+		// Echo with a small header, like a trivial HTTP handler.
+		resp := append([]byte("OK:"), req...)
+		return futures.Completed(resp)
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, w.clients)
+	perClient := w.requests / w.clients
+	for c := 0; c < w.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli, err := netstack.Dial(srv.Addr(), 2)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cli.Close()
+			buf := make([]byte, 8)
+			for i := 0; i < perClient; i++ {
+				binary.BigEndian.PutUint64(buf, uint64(c*perClient+i))
+				resp, err := cli.CallSync(buf)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(resp) != len(buf)+3 {
+					errCh <- fmt.Errorf("finagle-http: bad response length %d", len(resp))
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+	w.served = srv.Requests.Load()
+	if w.served != int64(perClient*w.clients) {
+		return fmt.Errorf("finagle-http: served %d, want %d", w.served, perClient*w.clients)
+	}
+	return nil
+}
+
+func (w *finagleHTTPWorkload) Validate() error {
+	if w.served == 0 {
+		return fmt.Errorf("finagle-http: nothing served")
+	}
+	return nil
+}
+
+// --- finagle-chirper ---
+
+// chirper protocol: first byte is the op ('P' post, 'F' fetch feed),
+// followed by a 4-byte user id and the payload.
+
+type chirperService struct {
+	mu    sync.Mutex
+	feeds map[uint32][][]byte
+	posts atomic.Int64
+}
+
+func (s *chirperService) handle(req []byte) *futures.Future[[]byte] {
+	if len(req) < 5 {
+		return futures.Completed([]byte("ERR"))
+	}
+	op := req[0]
+	user := binary.BigEndian.Uint32(req[1:5])
+	switch op {
+	case 'P':
+		s.posts.Add(1)
+		msg := append([]byte(nil), req[5:]...)
+		s.mu.Lock()
+		s.feeds[user] = append(s.feeds[user], msg)
+		s.mu.Unlock()
+		return futures.Completed([]byte("ACK"))
+	case 'F':
+		// Asynchronous fetch: assemble the feed on another goroutine, the
+		// future-composition shape of the original service.
+		return futures.Async(func() ([]byte, error) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			total := 0
+			for _, m := range s.feeds[user] {
+				total += len(m)
+			}
+			out := make([]byte, 4, 4+total)
+			binary.BigEndian.PutUint32(out, uint32(len(s.feeds[user])))
+			for _, m := range s.feeds[user] {
+				out = append(out, m...)
+			}
+			return out, nil
+		})
+	default:
+		return futures.Completed([]byte("ERR"))
+	}
+}
+
+type finagleChirperWorkload struct {
+	users    int
+	postsPer int
+	verified atomic.Int64
+}
+
+func newFinagleChirper(cfg core.Config) (core.Workload, error) {
+	return &finagleChirperWorkload{
+		users:    8,
+		postsPer: cfg.Scale(40),
+	}, nil
+}
+
+func (w *finagleChirperWorkload) RunIteration() error {
+	svc := &chirperService{feeds: make(map[uint32][][]byte)}
+	srv, err := netstack.Serve("127.0.0.1:0", svc.handle)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	w.verified.Store(0)
+	var wg sync.WaitGroup
+	errCh := make(chan error, w.users)
+	for u := 0; u < w.users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			cli, err := netstack.Dial(srv.Addr(), 2)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cli.Close()
+
+			post := make([]byte, 5+8)
+			post[0] = 'P'
+			binary.BigEndian.PutUint32(post[1:5], uint32(u))
+			// Post messages; every few posts, asynchronously fetch and
+			// verify the feed with a future continuation.
+			for i := 0; i < w.postsPer; i++ {
+				binary.BigEndian.PutUint64(post[5:], uint64(i))
+				if _, err := cli.CallSync(post); err != nil {
+					errCh <- err
+					return
+				}
+				if i%8 == 7 || i == w.postsPer-1 {
+					fetch := make([]byte, 5)
+					fetch[0] = 'F'
+					binary.BigEndian.PutUint32(fetch[1:5], uint32(u))
+					wantLen := uint32(i + 1)
+					f := futures.Map(cli.Call(fetch), func(resp []byte) bool {
+						return len(resp) >= 4 && binary.BigEndian.Uint32(resp) == wantLen
+					})
+					okResp, err := f.Await()
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if !okResp {
+						errCh <- fmt.Errorf("finagle-chirper: user %d feed mismatch at post %d", u, i)
+						return
+					}
+					w.verified.Add(1)
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+	if got := svc.posts.Load(); got != int64(w.users*w.postsPer) {
+		return fmt.Errorf("finagle-chirper: %d posts recorded, want %d", got, w.users*w.postsPer)
+	}
+	return nil
+}
+
+func (w *finagleChirperWorkload) Validate() error {
+	if w.verified.Load() == 0 {
+		return fmt.Errorf("finagle-chirper: no feeds verified")
+	}
+	return nil
+}

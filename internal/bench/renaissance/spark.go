@@ -1,0 +1,367 @@
+package renaissance
+
+import (
+	"fmt"
+	"math"
+
+	"renaissance/internal/core"
+	"renaissance/internal/rdd"
+)
+
+func init() {
+	register("als",
+		"Alternating Least Squares matrix factorization on the RDD engine.",
+		[]string{"data-parallel", "compute-bound"}, newALS)
+	register("chi-square",
+		"Parallel chi-square feature test on the RDD engine.",
+		[]string{"data-parallel", "machine learning"}, newChiSquare)
+	register("dec-tree",
+		"Classification decision tree on the RDD engine.",
+		[]string{"data-parallel", "machine learning"}, newDecTree)
+	register("log-regression",
+		"Logistic regression by parallel gradient descent.",
+		[]string{"data-parallel", "machine learning"}, newLogRegression)
+	register("movie-lens",
+		"ALS-based recommender over a synthetic ratings matrix.",
+		[]string{"data-parallel", "compute-bound"}, newMovieLens)
+	register("naive-bayes",
+		"Multinomial naive Bayes on the RDD engine.",
+		[]string{"data-parallel", "machine learning"}, newNaiveBayes)
+	register("page-rank",
+		"PageRank over a synthetic web graph on the RDD engine.",
+		[]string{"data-parallel", "atomics"}, newPageRank)
+}
+
+// syntheticPoints generates a two-class Gaussian dataset with the classes
+// shifted symmetrically about the origin, so a bias-free linear model (the
+// logistic regression kernel has no intercept) can separate them.
+func syntheticPoints(cfg core.Config, n, dim int, stream string) []rdd.LabeledPoint {
+	rng := cfg.Rand(stream)
+	pts := make([]rdd.LabeledPoint, n)
+	for i := range pts {
+		label := i % 2
+		shift := float64(label*2-1) * 1.25
+		f := make([]float64, dim)
+		for j := range f {
+			f[j] = rng.NormFloat64() + shift
+		}
+		pts[i] = rdd.LabeledPoint{Features: f, Label: label}
+	}
+	return pts
+}
+
+func accuracy(pts []rdd.LabeledPoint, predict func([]float64) int) float64 {
+	correct := 0
+	for _, p := range pts {
+		if predict(p.Features) == p.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pts))
+}
+
+// --- als ---
+
+type alsWorkload struct {
+	ratings []rdd.Rating
+	rank    int
+	rmse    float64
+}
+
+func newALS(cfg core.Config) (core.Workload, error) {
+	rng := cfg.Rand("als")
+	users, items, rank := cfg.Scale(60), cfg.Scale(40), 4
+	trueU := make([][]float64, users)
+	trueI := make([][]float64, items)
+	for u := range trueU {
+		trueU[u] = randomVec(rng, rank)
+	}
+	for i := range trueI {
+		trueI[i] = randomVec(rng, rank)
+	}
+	var ratings []rdd.Rating
+	for u := 0; u < users; u++ {
+		for i := 0; i < items; i++ {
+			if rng.Float64() < 0.4 {
+				dot := 0.0
+				for k := 0; k < rank; k++ {
+					dot += trueU[u][k] * trueI[i][k]
+				}
+				ratings = append(ratings, rdd.Rating{User: u, Item: i, Value: dot})
+			}
+		}
+	}
+	return &alsWorkload{ratings: ratings, rank: rank}, nil
+}
+
+func randomVec(rng interface{ Float64() float64 }, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	return v
+}
+
+func (w *alsWorkload) RunIteration() error {
+	model, err := rdd.ALS(rdd.Parallelize(w.ratings, 8), w.rank, 8, 0.01, 7)
+	if err != nil {
+		return err
+	}
+	w.rmse = model.RMSE(w.ratings)
+	return nil
+}
+
+func (w *alsWorkload) Validate() error {
+	if w.rmse > 0.15 {
+		return fmt.Errorf("als: RMSE %.4f exceeds 0.15", w.rmse)
+	}
+	return nil
+}
+
+// --- chi-square ---
+
+type chiSquareWorkload struct {
+	points []rdd.LabeledPoint
+	stats  []float64
+}
+
+func newChiSquare(cfg core.Config) (core.Workload, error) {
+	rng := cfg.Rand("chi-square")
+	n := cfg.Scale(4000)
+	const dim = 12
+	pts := make([]rdd.LabeledPoint, n)
+	for i := range pts {
+		label := i % 2
+		f := make([]float64, dim)
+		// Feature 0 is strongly label-dependent; the rest are noise.
+		f[0] = float64(label)
+		if rng.Float64() < 0.1 {
+			f[0] = float64(1 - label)
+		}
+		for j := 1; j < dim; j++ {
+			f[j] = float64(rng.Intn(4))
+		}
+		pts[i] = rdd.LabeledPoint{Features: f, Label: label}
+	}
+	return &chiSquareWorkload{points: pts}, nil
+}
+
+func (w *chiSquareWorkload) RunIteration() error {
+	w.stats = rdd.ChiSquare(rdd.Parallelize(w.points, 8), 2, len(w.points[0].Features), 4)
+	return nil
+}
+
+func (w *chiSquareWorkload) Validate() error {
+	if len(w.stats) == 0 {
+		return fmt.Errorf("chi-square: no statistics computed")
+	}
+	for j := 1; j < len(w.stats); j++ {
+		if w.stats[0] <= w.stats[j] {
+			return fmt.Errorf("chi-square: informative feature (%.1f) did not dominate noise feature %d (%.1f)",
+				w.stats[0], j, w.stats[j])
+		}
+	}
+	return nil
+}
+
+// --- dec-tree ---
+
+type decTreeWorkload struct {
+	points []rdd.LabeledPoint
+	acc    float64
+}
+
+func newDecTree(cfg core.Config) (core.Workload, error) {
+	return &decTreeWorkload{points: syntheticPoints(cfg, cfg.Scale(3000), 8, "dec-tree")}, nil
+}
+
+func (w *decTreeWorkload) RunIteration() error {
+	tree, err := rdd.DecisionTree(rdd.Parallelize(w.points, 8), 2, 6, 4)
+	if err != nil {
+		return err
+	}
+	w.acc = accuracy(w.points, tree.Predict)
+	return nil
+}
+
+func (w *decTreeWorkload) Validate() error {
+	if w.acc < 0.75 {
+		return fmt.Errorf("dec-tree: accuracy %.3f below 0.75", w.acc)
+	}
+	return nil
+}
+
+// --- log-regression ---
+
+type logRegWorkload struct {
+	points []rdd.LabeledPoint
+	acc    float64
+}
+
+func newLogRegression(cfg core.Config) (core.Workload, error) {
+	return &logRegWorkload{points: syntheticPoints(cfg, cfg.Scale(4000), 10, "log-regression")}, nil
+}
+
+func (w *logRegWorkload) RunIteration() error {
+	weights, err := rdd.LogisticRegression(rdd.Parallelize(w.points, 8), 40, 1.0)
+	if err != nil {
+		return err
+	}
+	w.acc = accuracy(w.points, func(f []float64) int {
+		if rdd.PredictLogistic(weights, f) > 0.5 {
+			return 1
+		}
+		return 0
+	})
+	return nil
+}
+
+func (w *logRegWorkload) Validate() error {
+	if w.acc < 0.8 {
+		return fmt.Errorf("log-regression: accuracy %.3f below 0.8", w.acc)
+	}
+	return nil
+}
+
+// --- movie-lens ---
+
+type movieLensWorkload struct {
+	ratings []rdd.Rating
+	rated   map[int]map[int]bool
+	recs    int
+}
+
+func newMovieLens(cfg core.Config) (core.Workload, error) {
+	rng := cfg.Rand("movie-lens")
+	users, movies := cfg.Scale(50), cfg.Scale(35)
+	if users < 12 {
+		users = 12
+	}
+	if movies < 9 {
+		movies = 9
+	}
+	w := &movieLensWorkload{rated: make(map[int]map[int]bool)}
+	for u := 0; u < users; u++ {
+		w.rated[u] = make(map[int]bool)
+		for m := 0; m < movies; m++ {
+			if rng.Float64() < 0.3 || m == u%movies {
+				// Preference structure: users like movies congruent mod 3.
+				base := 2.0
+				if u%3 == m%3 {
+					base = 4.5
+				}
+				w.ratings = append(w.ratings, rdd.Rating{User: u, Item: m, Value: base + rng.Float64()})
+				w.rated[u][m] = true
+			}
+		}
+	}
+	return w, nil
+}
+
+func (w *movieLensWorkload) RunIteration() error {
+	model, err := rdd.ALS(rdd.Parallelize(w.ratings, 8), 4, 6, 0.05, 11)
+	if err != nil {
+		return err
+	}
+	w.recs = 0
+	for u := 0; u < 10; u++ {
+		w.recs += len(model.Recommend(u, w.rated[u], 5))
+	}
+	return nil
+}
+
+func (w *movieLensWorkload) Validate() error {
+	if w.recs == 0 {
+		return fmt.Errorf("movie-lens: no recommendations produced")
+	}
+	return nil
+}
+
+// --- naive-bayes ---
+
+type naiveBayesWorkload struct {
+	points []rdd.LabeledPoint
+	acc    float64
+}
+
+func newNaiveBayes(cfg core.Config) (core.Workload, error) {
+	rng := cfg.Rand("naive-bayes")
+	n := cfg.Scale(5000)
+	const dim = 16
+	pts := make([]rdd.LabeledPoint, n)
+	for i := range pts {
+		label := i % 3
+		f := make([]float64, dim)
+		for j := range f {
+			base := 1.0
+			if j%3 == label {
+				base = 6.0
+			}
+			f[j] = base + float64(rng.Intn(3))
+		}
+		pts[i] = rdd.LabeledPoint{Features: f, Label: label}
+	}
+	return &naiveBayesWorkload{points: pts}, nil
+}
+
+func (w *naiveBayesWorkload) RunIteration() error {
+	model, err := rdd.NaiveBayes(rdd.Parallelize(w.points, 8), 3, len(w.points[0].Features))
+	if err != nil {
+		return err
+	}
+	w.acc = accuracy(w.points, model.Predict)
+	return nil
+}
+
+func (w *naiveBayesWorkload) Validate() error {
+	if w.acc < 0.9 {
+		return fmt.Errorf("naive-bayes: accuracy %.3f below 0.9", w.acc)
+	}
+	return nil
+}
+
+// --- page-rank ---
+
+type pageRankWorkload struct {
+	edges []rdd.Pair[int, int]
+	n     int
+	ranks map[int]float64
+}
+
+func newPageRank(cfg core.Config) (core.Workload, error) {
+	rng := cfg.Rand("page-rank")
+	n := cfg.Scale(600)
+	var edges []rdd.Pair[int, int]
+	for v := 0; v < n; v++ {
+		// Every vertex links to its successor (strong connectivity) plus a
+		// few preferential links toward low-numbered "hub" vertices.
+		edges = append(edges, rdd.KV(v, (v+1)%n))
+		for k := 0; k < 3; k++ {
+			edges = append(edges, rdd.KV(v, rng.Intn(v/4+1)))
+		}
+	}
+	return &pageRankWorkload{edges: edges, n: n}, nil
+}
+
+func (w *pageRankWorkload) RunIteration() error {
+	w.ranks = rdd.PageRank(rdd.Parallelize(w.edges, 8), 10, 0.85)
+	return nil
+}
+
+func (w *pageRankWorkload) Validate() error {
+	if len(w.ranks) != w.n {
+		return fmt.Errorf("page-rank: %d ranked vertices, want %d", len(w.ranks), w.n)
+	}
+	total := 0.0
+	for _, r := range w.ranks {
+		total += r
+	}
+	if math.Abs(total-float64(w.n)) > float64(w.n)/100 {
+		return fmt.Errorf("page-rank: total rank %.2f deviates from %d", total, w.n)
+	}
+	// Hub vertices must outrank the median.
+	if w.ranks[0] <= 1.0 {
+		return fmt.Errorf("page-rank: hub rank %.3f not above average", w.ranks[0])
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package renaissance
+
+import (
+	"fmt"
+	"sync"
+
+	"renaissance/internal/core"
+	"renaissance/internal/stm"
+)
+
+func init() {
+	register("philosophers",
+		"Dining philosophers on the TL2 software transactional memory.",
+		[]string{"STM", "atomics", "guarded blocks"}, newPhilosophers)
+	register("stm-bench7",
+		"Mixed STM operations over a shared object graph with invariants.",
+		[]string{"STM", "atomics"}, newSTMBench7)
+}
+
+type philosophersWorkload struct {
+	philosophers int
+	meals        int
+	eaten        []*stm.Ref
+}
+
+func newPhilosophers(cfg core.Config) (core.Workload, error) {
+	return &philosophersWorkload{
+		philosophers: 5,
+		meals:        cfg.Scale(120),
+	}, nil
+}
+
+func (w *philosophersWorkload) RunIteration() error {
+	n := w.philosophers
+	forks := make([]*stm.Ref, n)
+	w.eaten = make([]*stm.Ref, n)
+	for i := range forks {
+		forks[i] = stm.NewRef(false) // false = free
+		w.eaten[i] = stm.NewRef(0)
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			left, right := forks[p], forks[(p+1)%n]
+			mine := w.eaten[p]
+			for m := 0; m < w.meals; m++ {
+				// Acquire both forks atomically, retrying (blocking on the
+				// STM's guarded-block wait) while either is taken.
+				_ = stm.Atomically(func(tx *stm.Tx) error {
+					if tx.Read(left).(bool) || tx.Read(right).(bool) {
+						tx.Retry()
+					}
+					tx.Write(left, true)
+					tx.Write(right, true)
+					return nil
+				})
+				// Eat, then release.
+				_ = stm.Atomically(func(tx *stm.Tx) error {
+					tx.Write(mine, tx.Read(mine).(int)+1)
+					tx.Write(left, false)
+					tx.Write(right, false)
+					return nil
+				})
+			}
+		}(p)
+	}
+	wg.Wait()
+	return nil
+}
+
+func (w *philosophersWorkload) Validate() error {
+	for p, ref := range w.eaten {
+		if got := stm.ReadAtomic(ref).(int); got != w.meals {
+			return fmt.Errorf("philosophers: philosopher %d ate %d meals, want %d", p, got, w.meals)
+		}
+	}
+	return nil
+}
+
+// stmBench7Workload mirrors STMBench7's mix: a shared object graph (here a
+// grid of refs), traversed and mutated by concurrent transactions, with a
+// global sum invariant (mutations are balanced transfers).
+type stmBench7Workload struct {
+	refs    []*stm.Ref
+	total   int
+	ops     int
+	workers int
+}
+
+func newSTMBench7(cfg core.Config) (core.Workload, error) {
+	n := cfg.Scale(64)
+	if n < 8 {
+		n = 8
+	}
+	w := &stmBench7Workload{
+		refs:    make([]*stm.Ref, n),
+		ops:     cfg.Scale(400),
+		workers: 4,
+	}
+	for i := range w.refs {
+		w.refs[i] = stm.NewRef(100)
+		w.total += 100
+	}
+	return w, nil
+}
+
+func (w *stmBench7Workload) RunIteration() error {
+	var wg sync.WaitGroup
+	n := len(w.refs)
+	for g := 0; g < w.workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			state := uint64(g*2654435761 + 12345)
+			next := func(bound int) int {
+				state = state*6364136223846793005 + 1442695040888963407
+				return int((state >> 33) % uint64(bound))
+			}
+			for i := 0; i < w.ops; i++ {
+				switch next(4) {
+				case 0, 1: // short transfer (the frequent small operation)
+					a, b := next(n), next(n)
+					if a == b {
+						continue
+					}
+					_ = stm.Atomically(func(tx *stm.Tx) error {
+						av := tx.Read(w.refs[a]).(int)
+						bv := tx.Read(w.refs[b]).(int)
+						tx.Write(w.refs[a], av-1)
+						tx.Write(w.refs[b], bv+1)
+						return nil
+					})
+				case 2: // long traversal (read-only structural operation)
+					_ = stm.Atomically(func(tx *stm.Tx) error {
+						sum := 0
+						for _, r := range w.refs {
+							sum += tx.Read(r).(int)
+						}
+						if sum != w.total {
+							return fmt.Errorf("stm-bench7: snapshot sum %d != %d", sum, w.total)
+						}
+						return nil
+					})
+				case 3: // regional update (balanced multi-ref mutation)
+					base := next(n - 4)
+					_ = stm.Atomically(func(tx *stm.Tx) error {
+						for k := 0; k < 2; k++ {
+							src, dst := w.refs[base+k], w.refs[base+k+2]
+							sv := tx.Read(src).(int)
+							dv := tx.Read(dst).(int)
+							tx.Write(src, sv-2)
+							tx.Write(dst, dv+2)
+						}
+						return nil
+					})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	return nil
+}
+
+func (w *stmBench7Workload) Validate() error {
+	sum := 0
+	for _, r := range w.refs {
+		sum += stm.ReadAtomic(r).(int)
+	}
+	if sum != w.total {
+		return fmt.Errorf("stm-bench7: final sum %d, want %d (invariant broken)", sum, w.total)
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+// Package renaissance implements the 21 benchmarks of Table 1 as native Go
+// workloads on this repository's from-scratch substrates: the actor
+// runtime, the RDD data-parallel engine, the TL2 STM, the fork-join pool,
+// streams and Rx pipelines, futures, the loopback network framework, the
+// in-memory key-value engines, the property-graph store, and the minilang
+// compiler. Each benchmark mirrors its original's concurrency profile
+// (Table 1's "Focus" column); workload sizes are scaled by the harness
+// Config so one iteration takes tens to hundreds of milliseconds at
+// SizeFactor 1.
+//
+// Importing this package (blank import) registers every benchmark in the
+// harness's global registry.
+package renaissance
+
+import "renaissance/internal/core"
+
+// spec is a local helper wiring a benchmark into the registry with the
+// suite's defaults (2 warmup + 5 measured iterations, matching the
+// warmup/steady-state split of §4.1 at laptop scale).
+func register(name, description string, focus []string, setup func(core.Config) (core.Workload, error)) {
+	core.Register(core.Spec{
+		Name:        name,
+		Suite:       core.SuiteRenaissance,
+		Description: description,
+		Focus:       focus,
+		Warmup:      2,
+		Measured:    5,
+		Setup:       setup,
+	})
+}

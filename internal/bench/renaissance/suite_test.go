@@ -1,0 +1,109 @@
+package renaissance
+
+import (
+	"testing"
+
+	"renaissance/internal/core"
+)
+
+// paperBenchmarks is the Table 1 inventory.
+var paperBenchmarks = []string{
+	"akka-uct", "als", "chi-square", "db-shootout", "dec-tree", "dotty",
+	"finagle-chirper", "finagle-http", "fj-kmeans", "future-genetic",
+	"log-regression", "movie-lens", "naive-bayes", "neo4j-analytics",
+	"page-rank", "philosophers", "reactors", "rx-scrabble", "scrabble",
+	"stm-bench7", "streams-mnemonics",
+}
+
+func TestAll21Registered(t *testing.T) {
+	specs := core.Global.BySuite(core.SuiteRenaissance)
+	if len(specs) != 21 {
+		t.Fatalf("registered %d renaissance benchmarks, want 21", len(specs))
+	}
+	for _, name := range paperBenchmarks {
+		if _, ok := core.Global.Lookup(core.SuiteRenaissance, name); !ok {
+			t.Errorf("benchmark %q not registered", name)
+		}
+	}
+	for _, s := range specs {
+		if s.Description == "" || len(s.Focus) == 0 {
+			t.Errorf("benchmark %q missing description or focus", s.Name)
+		}
+	}
+}
+
+// TestEveryBenchmarkRunsAndValidates executes each benchmark once at a
+// small size factor and checks the validation hook.
+func TestEveryBenchmarkRunsAndValidates(t *testing.T) {
+	for _, name := range paperBenchmarks {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, ok := core.Global.Lookup(core.SuiteRenaissance, name)
+			if !ok {
+				t.Fatal("not registered")
+			}
+			r := core.NewRunner()
+			r.Config.SizeFactor = 0.1
+			r.WarmupOverride = 1
+			r.MeasuredOverride = 1
+			res, err := r.Run(spec)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !res.Validated {
+				t.Error("benchmark has no validation")
+			}
+			if res.Profile == nil || res.Profile.RefCycles <= 0 {
+				t.Error("no profile collected")
+			}
+		})
+	}
+}
+
+// TestMetricProfilesMatchTable1Focus spot-checks that the benchmarks'
+// metric profiles reflect their Table 1 focus: the STM benchmarks are
+// atomic-heavy, the actor benchmarks park/notify, the streams benchmarks
+// execute closure dispatch.
+func TestMetricProfilesMatchTable1Focus(t *testing.T) {
+	run := func(name string) map[string]float64 {
+		spec, _ := core.Global.Lookup(core.SuiteRenaissance, name)
+		r := core.NewRunner()
+		r.Config.SizeFactor = 0.1
+		r.WarmupOverride = 1
+		r.MeasuredOverride = 1
+		res, err := r.Run(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := map[string]float64{}
+		for _, m := range []struct {
+			key string
+			idx int
+		}{
+			{"synch", 0}, {"wait", 1}, {"notify", 2}, {"atomic", 3},
+			{"park", 4}, {"object", 7}, {"method", 9}, {"idynamic", 10},
+		} {
+			out[m.key] = float64(res.Profile.Counts.Counts[m.idx])
+		}
+		return out
+	}
+
+	stm := run("philosophers")
+	// wait/park only register under contention (rare on a single core),
+	// so assert on the always-present STM signals.
+	if stm["atomic"] == 0 || stm["notify"] == 0 || stm["synch"] == 0 {
+		t.Errorf("philosophers profile lacks STM signals: %v", stm)
+	}
+	uct := run("akka-uct")
+	if uct["atomic"] == 0 || uct["method"] == 0 {
+		t.Errorf("akka-uct profile lacks sends/dispatch: %v", uct)
+	}
+	scr := run("scrabble")
+	if scr["idynamic"] == 0 {
+		t.Errorf("scrabble profile lacks idynamic: %v", scr)
+	}
+	if scr["idynamic"] <= uct["idynamic"] {
+		t.Errorf("scrabble idynamic (%v) should exceed akka-uct (%v)",
+			scr["idynamic"], uct["idynamic"])
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"renaissance/internal/metrics"
+	"renaissance/internal/stats"
+)
+
+// Result holds the outcome of one benchmark run: the per-iteration
+// steady-state durations and the metric profile of the steady-state phase.
+type Result struct {
+	Benchmark string        `json:"benchmark"`
+	Suite     string        `json:"suite"`
+	Warmup    int           `json:"warmupIterations"`
+	Durations []float64     `json:"steadyStateMillis"` // per measured iteration
+	Total     time.Duration `json:"-"`
+	Profile   *metrics.Profile
+	Validated bool   `json:"validated"`
+	Err       string `json:"error,omitempty"`
+}
+
+// MeanMillis returns the mean steady-state iteration time in milliseconds.
+func (r *Result) MeanMillis() float64 { return stats.Mean(r.Durations) }
+
+// Summary returns descriptive statistics of the steady-state durations.
+func (r *Result) Summary() stats.Summary { return stats.Summarize(r.Durations) }
+
+// WriteJSON writes the result as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Runner executes benchmarks with a shared configuration and plugin list.
+type Runner struct {
+	Config  Config
+	Plugins []Plugin
+	// WarmupOverride / MeasuredOverride replace the spec's iteration counts
+	// when > 0 (useful for quick runs and tests).
+	WarmupOverride   int
+	MeasuredOverride int
+}
+
+// NewRunner returns a Runner with the default configuration.
+func NewRunner() *Runner { return &Runner{Config: DefaultConfig()} }
+
+// Use appends plugins to the runner.
+func (r *Runner) Use(ps ...Plugin) { r.Plugins = append(r.Plugins, ps...) }
+
+// Run sets up the spec's workload, executes the warmup phase, profiles the
+// steady-state phase, validates the workload if it supports validation, and
+// returns the result. Iteration errors abort the run and are reported in
+// the result as well as the returned error.
+func (r *Runner) Run(spec *Spec) (*Result, error) {
+	res := &Result{Benchmark: spec.Name, Suite: spec.Suite}
+
+	warmup := spec.Warmup
+	if r.WarmupOverride > 0 {
+		warmup = r.WarmupOverride
+	}
+	measured := spec.Measured
+	if r.MeasuredOverride > 0 {
+		measured = r.MeasuredOverride
+	}
+	res.Warmup = warmup
+
+	w, err := spec.Setup(r.Config)
+	if err != nil {
+		res.Err = err.Error()
+		return res, fmt.Errorf("core: setup of %s/%s: %w", spec.Suite, spec.Name, err)
+	}
+	defer func() {
+		if c, ok := w.(Closer); ok {
+			_ = c.Close()
+		}
+	}()
+
+	for _, p := range r.Plugins {
+		p.BeforeBenchmark(spec)
+	}
+
+	runOne := func(i int, isWarmup bool) error {
+		start := time.Now()
+		err := w.RunIteration()
+		d := time.Since(start)
+		ev := IterationEvent{
+			Benchmark: spec.Name, Suite: spec.Suite,
+			Index: i, Warmup: isWarmup, Duration: d, Err: err,
+		}
+		for _, p := range r.Plugins {
+			p.AfterIteration(ev)
+		}
+		if err != nil {
+			return err
+		}
+		if !isWarmup {
+			res.Durations = append(res.Durations, float64(d)/float64(time.Millisecond))
+			res.Total += d
+		}
+		return nil
+	}
+
+	for i := 0; i < warmup; i++ {
+		if err := runOne(i, true); err != nil {
+			res.Err = err.Error()
+			return res, fmt.Errorf("core: warmup of %s/%s: %w", spec.Suite, spec.Name, err)
+		}
+	}
+
+	prof := metrics.StartProfile(spec.Suite, spec.Name)
+	for i := 0; i < measured; i++ {
+		if err := runOne(i, false); err != nil {
+			res.Err = err.Error()
+			res.Profile = prof.Stop()
+			return res, fmt.Errorf("core: iteration of %s/%s: %w", spec.Suite, spec.Name, err)
+		}
+	}
+	res.Profile = prof.Stop()
+
+	if v, ok := w.(Validator); ok {
+		if err := v.Validate(); err != nil {
+			res.Err = err.Error()
+			return res, fmt.Errorf("core: validation of %s/%s: %w", spec.Suite, spec.Name, err)
+		}
+		res.Validated = true
+	}
+
+	for _, p := range r.Plugins {
+		p.AfterBenchmark(spec, res)
+	}
+	return res, nil
+}
+
+// RunAll runs every given spec and returns the results; the first error is
+// returned after attempting all specs.
+func (r *Runner) RunAll(specs []*Spec) ([]*Result, error) {
+	var firstErr error
+	out := make([]*Result, 0, len(specs))
+	for _, s := range specs {
+		res, err := r.Run(s)
+		out = append(out, res)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return out, firstErr
+}

@@ -1,0 +1,264 @@
+// Package forkjoin implements a fork–join task pool with per-worker
+// work-stealing deques, in the style of the Java Fork/Join framework (Lea,
+// 2000) used by the fj-kmeans benchmark (Table 1: "task-parallel,
+// concurrent data structures"). Workers push forked tasks onto their own
+// deque (LIFO for locality) and steal from the front of other workers'
+// deques (FIFO), and joining workers help execute pending tasks instead of
+// blocking.
+package forkjoin
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"renaissance/internal/metrics"
+)
+
+// A Fn is the body of a fork-join task. It receives the worker executing it
+// so that it can fork and join subtasks.
+type Fn func(w *Worker) any
+
+// Task is a forked computation whose result can be joined.
+type Task struct {
+	fn     Fn
+	done   atomic.Bool
+	result any
+	doneCh chan struct{}
+}
+
+func newTask(fn Fn) *Task {
+	metrics.IncObject()
+	return &Task{fn: fn, doneCh: make(chan struct{})}
+}
+
+func (t *Task) complete(v any) {
+	t.result = v
+	metrics.IncAtomic()
+	t.done.Store(true)
+	close(t.doneCh)
+	metrics.IncNotify()
+}
+
+// IsDone reports whether the task has completed.
+func (t *Task) IsDone() bool {
+	metrics.IncAtomic()
+	return t.done.Load()
+}
+
+// Result returns the task result; it must only be called after the task is
+// known to be done.
+func (t *Task) Result() any { return t.result }
+
+// deque is a mutex-protected double-ended queue of tasks. The owner pops
+// from the back; thieves steal from the front.
+type deque struct {
+	mu    sync.Mutex
+	tasks []*Task
+}
+
+func (d *deque) push(t *Task) {
+	d.mu.Lock()
+	metrics.IncSynch()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+func (d *deque) pop() *Task {
+	d.mu.Lock()
+	metrics.IncSynch()
+	defer d.mu.Unlock()
+	n := len(d.tasks)
+	if n == 0 {
+		return nil
+	}
+	t := d.tasks[n-1]
+	d.tasks = d.tasks[:n-1]
+	return t
+}
+
+func (d *deque) steal() *Task {
+	d.mu.Lock()
+	metrics.IncSynch()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return nil
+	}
+	t := d.tasks[0]
+	d.tasks = d.tasks[1:]
+	return t
+}
+
+// Pool is a fork-join pool with a fixed number of workers.
+type Pool struct {
+	workers []*Worker
+	submit  chan *Task
+	wake    chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	// Steals counts successful steals, exposed for the ablation bench that
+	// compares work-stealing against a single shared queue.
+	Steals atomic.Int64
+}
+
+// Worker is one pool worker; tasks receive their executing worker to fork
+// and join subtasks.
+type Worker struct {
+	pool  *Pool
+	index int
+	dq    deque
+	rng   *rand.Rand
+}
+
+// NewPool creates a pool with n workers (0 means GOMAXPROCS).
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		submit: make(chan *Task, 4096),
+		wake:   make(chan struct{}, n),
+		done:   make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		w := &Worker{pool: p, index: i, rng: rand.New(rand.NewSource(int64(i)*7919 + 1))}
+		p.workers = append(p.workers, w)
+	}
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go w.run()
+	}
+	return p
+}
+
+// Parallelism returns the number of workers.
+func (p *Pool) Parallelism() int { return len(p.workers) }
+
+// Close shuts the pool down. Outstanding tasks are not waited for; callers
+// should join their tasks first.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	close(p.done)
+	p.wg.Wait()
+}
+
+func (p *Pool) wakeOne() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Submit schedules a top-level task from outside the pool.
+func (p *Pool) Submit(fn Fn) *Task {
+	t := newTask(fn)
+	select {
+	case p.submit <- t:
+	case <-p.done:
+		return t // pool closed; task never runs (IsDone stays false)
+	}
+	p.wakeOne()
+	return t
+}
+
+// Invoke submits fn and blocks until it completes, returning its result.
+func (p *Pool) Invoke(fn Fn) any {
+	t := p.Submit(fn)
+	metrics.IncPark()
+	<-t.doneCh
+	return t.result
+}
+
+func (w *Worker) run() {
+	defer w.pool.wg.Done()
+	for {
+		if t := w.findTask(); t != nil {
+			w.exec(t)
+			continue
+		}
+		select {
+		case t := <-w.pool.submit:
+			w.exec(t)
+		case <-w.pool.wake:
+		case <-w.pool.done:
+			return
+		}
+	}
+}
+
+func (w *Worker) exec(t *Task) {
+	v := t.fn(w)
+	t.complete(v)
+}
+
+// findTask looks for work: own deque first, then the submission queue, then
+// stealing from a random victim (scanning all on failure).
+func (w *Worker) findTask() *Task {
+	if t := w.dq.pop(); t != nil {
+		return t
+	}
+	select {
+	case t := <-w.pool.submit:
+		return t
+	default:
+	}
+	n := len(w.pool.workers)
+	start := w.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		victim := w.pool.workers[(start+i)%n]
+		if victim == w {
+			continue
+		}
+		if t := victim.dq.steal(); t != nil {
+			w.pool.Steals.Add(1)
+			return t
+		}
+	}
+	return nil
+}
+
+// Fork schedules fn as a subtask on the worker's own deque.
+func (w *Worker) Fork(fn Fn) *Task {
+	t := newTask(fn)
+	w.dq.push(t)
+	w.pool.wakeOne()
+	return t
+}
+
+// Join waits for the task to finish, helping execute pending tasks while
+// it waits (the fork-join "helping" discipline that avoids blocking worker
+// threads).
+func (w *Worker) Join(t *Task) any {
+	for !t.IsDone() {
+		if other := w.findTask(); other != nil {
+			w.exec(other)
+		} else {
+			runtime.Gosched()
+		}
+	}
+	return t.result
+}
+
+// Pool returns the worker's pool.
+func (w *Worker) Pool() *Pool { return w.pool }
+
+// Index returns the worker index in [0, Parallelism).
+func (w *Worker) Index() int { return w.index }
+
+// InvokeAll forks all functions and joins them in order, returning their
+// results — the common "divide into K parts" idiom.
+func (w *Worker) InvokeAll(fns ...Fn) []any {
+	tasks := make([]*Task, len(fns))
+	for i, fn := range fns {
+		tasks[i] = w.Fork(fn)
+	}
+	out := make([]any, len(fns))
+	for i, t := range tasks {
+		out[i] = w.Join(t)
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package forkjoin
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestInvokeSimple(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	got := p.Invoke(func(w *Worker) any { return 21 * 2 })
+	if got != 42 {
+		t.Errorf("Invoke = %v, want 42", got)
+	}
+}
+
+// fibTask computes fib recursively with fork/join — the classic shape.
+func fibTask(n int) Fn {
+	return func(w *Worker) any {
+		if n < 2 {
+			return n
+		}
+		left := w.Fork(fibTask(n - 1))
+		right := fibTask(n - 2)(w)
+		return w.Join(left).(int) + right.(int)
+	}
+}
+
+func TestRecursiveForkJoin(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	got := p.Invoke(fibTask(15))
+	if got != 610 {
+		t.Errorf("fib(15) = %v, want 610", got)
+	}
+}
+
+func TestParallelSum(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	data := make([]int, 100000)
+	for i := range data {
+		data[i] = i + 1
+	}
+	var sum func(lo, hi int) Fn
+	sum = func(lo, hi int) Fn {
+		return func(w *Worker) any {
+			if hi-lo <= 1000 {
+				s := 0
+				for _, v := range data[lo:hi] {
+					s += v
+				}
+				return s
+			}
+			mid := (lo + hi) / 2
+			left := w.Fork(sum(lo, mid))
+			right := sum(mid, hi)(w)
+			return w.Join(left).(int) + right.(int)
+		}
+	}
+	got := p.Invoke(sum(0, len(data)))
+	want := len(data) * (len(data) + 1) / 2
+	if got != want {
+		t.Errorf("sum = %v, want %d", got, want)
+	}
+}
+
+func TestInvokeAll(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	got := p.Invoke(func(w *Worker) any {
+		results := w.InvokeAll(
+			func(*Worker) any { return 1 },
+			func(*Worker) any { return 2 },
+			func(*Worker) any { return 3 },
+		)
+		total := 0
+		for _, r := range results {
+			total += r.(int)
+		}
+		return total
+	})
+	if got != 6 {
+		t.Errorf("InvokeAll total = %v, want 6", got)
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				v := p.Invoke(func(*Worker) any { return g + i }).(int)
+				total.Add(int64(v))
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := int64(0)
+	for g := 0; g < 8; g++ {
+		for i := 0; i < 20; i++ {
+			want += int64(g + i)
+		}
+	}
+	if total.Load() != want {
+		t.Errorf("total = %d, want %d", total.Load(), want)
+	}
+}
+
+func TestTaskState(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	task := p.Submit(func(*Worker) any { return "ok" })
+	<-task.doneCh
+	if !task.IsDone() {
+		t.Error("task not done after doneCh closed")
+	}
+	if task.Result() != "ok" {
+		t.Errorf("Result = %v", task.Result())
+	}
+}
+
+func TestParallelismAndIndex(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	if p.Parallelism() != 3 {
+		t.Errorf("Parallelism = %d", p.Parallelism())
+	}
+	idx := p.Invoke(func(w *Worker) any {
+		if w.Pool() != p {
+			t.Error("worker pool mismatch")
+		}
+		return w.Index()
+	}).(int)
+	if idx < 0 || idx >= 3 {
+		t.Errorf("worker index = %d", idx)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // must not panic
+}
+
+func TestDefaultPoolSize(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Parallelism() < 1 {
+		t.Errorf("Parallelism = %d, want >= 1", p.Parallelism())
+	}
+}
+
+// Property: fork-join parallel sum of arbitrary int8 slices matches the
+// sequential sum.
+func TestPropertyParallelSumMatchesSequential(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	f := func(data []int8) bool {
+		want := 0
+		for _, v := range data {
+			want += int(v)
+		}
+		var sum func(lo, hi int) Fn
+		sum = func(lo, hi int) Fn {
+			return func(w *Worker) any {
+				if hi-lo <= 4 {
+					s := 0
+					for _, v := range data[lo:hi] {
+						s += int(v)
+					}
+					return s
+				}
+				mid := (lo + hi) / 2
+				l := w.Fork(sum(lo, mid))
+				r := sum(mid, hi)(w)
+				return w.Join(l).(int) + r.(int)
+			}
+		}
+		got := p.Invoke(sum(0, len(data))).(int)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDequeOperations(t *testing.T) {
+	var d deque
+	if d.pop() != nil || d.steal() != nil {
+		t.Error("empty deque should return nil")
+	}
+	t1, t2, t3 := newTask(nil), newTask(nil), newTask(nil)
+	d.push(t1)
+	d.push(t2)
+	d.push(t3)
+	if got := d.pop(); got != t3 {
+		t.Error("pop should be LIFO (owner side)")
+	}
+	if got := d.steal(); got != t1 {
+		t.Error("steal should be FIFO (thief side)")
+	}
+	if got := d.pop(); got != t2 {
+		t.Error("remaining element wrong")
+	}
+}

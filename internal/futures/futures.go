@@ -1,0 +1,253 @@
+// Package futures implements composable futures and promises in the style
+// of Twitter Util / Scala futures (SIP-14), used by the future-genetic and
+// finagle-chirper benchmarks (Table 1: "task-parallel, contention" and
+// "network stack, futures, atomics"). Completion uses an atomic state
+// transition; continuations registered with Map/FlatMap/OnComplete are
+// closure dispatches, which is what the paper's idynamic metric estimates.
+package futures
+
+import (
+	"errors"
+	"sync"
+
+	"renaissance/internal/metrics"
+)
+
+// ErrAlreadyCompleted is returned when a promise is completed twice.
+var ErrAlreadyCompleted = errors.New("futures: promise already completed")
+
+// Future is a read handle on an eventually available value of type T.
+type Future[T any] struct {
+	mu        sync.Mutex
+	done      chan struct{}
+	value     T
+	err       error
+	completed bool
+	callbacks []func(T, error)
+}
+
+// Promise is the write handle that completes its future exactly once.
+type Promise[T any] struct {
+	f    *Future[T]
+	once sync.Once
+}
+
+// NewPromise creates an incomplete promise/future pair.
+func NewPromise[T any]() *Promise[T] {
+	metrics.IncObject()
+	return &Promise[T]{f: &Future[T]{done: make(chan struct{})}}
+}
+
+// Future returns the promise's future.
+func (p *Promise[T]) Future() *Future[T] { return p.f }
+
+// Success completes the future with a value. It returns
+// ErrAlreadyCompleted if the promise was completed before.
+func (p *Promise[T]) Success(v T) error { return p.complete(v, nil) }
+
+// Failure completes the future with an error.
+func (p *Promise[T]) Failure(err error) error {
+	var zero T
+	return p.complete(zero, err)
+}
+
+// TrySuccess completes the future with a value if it is not yet completed,
+// reporting whether this call won the race — the idiom finagle-chirper-like
+// services use for request hedging.
+func (p *Promise[T]) TrySuccess(v T) bool { return p.complete(v, nil) == nil }
+
+func (p *Promise[T]) complete(v T, err error) error {
+	won := false
+	p.once.Do(func() {
+		won = true
+		f := p.f
+		f.mu.Lock()
+		metrics.IncSynch()
+		f.value, f.err, f.completed = v, err, true
+		cbs := f.callbacks
+		f.callbacks = nil
+		f.mu.Unlock()
+		metrics.IncAtomic() // publication of the completed state
+		close(f.done)
+		metrics.IncNotify()
+		for _, cb := range cbs {
+			metrics.IncIDynamic()
+			cb(v, err)
+		}
+	})
+	if !won {
+		return ErrAlreadyCompleted
+	}
+	return nil
+}
+
+// OnComplete registers a continuation invoked with the result; if the
+// future is already complete the continuation runs synchronously.
+func (f *Future[T]) OnComplete(cb func(T, error)) {
+	f.mu.Lock()
+	metrics.IncSynch()
+	if !f.completed {
+		f.callbacks = append(f.callbacks, cb)
+		f.mu.Unlock()
+		return
+	}
+	v, err := f.value, f.err
+	f.mu.Unlock()
+	metrics.IncIDynamic()
+	cb(v, err)
+}
+
+// Await blocks until the future completes and returns its result.
+func (f *Future[T]) Await() (T, error) {
+	metrics.IncPark()
+	<-f.done
+	return f.value, f.err
+}
+
+// Poll returns the result if the future is complete.
+func (f *Future[T]) Poll() (v T, err error, ok bool) {
+	select {
+	case <-f.done:
+		return f.value, f.err, true
+	default:
+		var zero T
+		return zero, nil, false
+	}
+}
+
+// Done returns a channel closed upon completion, for use in select.
+func (f *Future[T]) Done() <-chan struct{} { return f.done }
+
+// Completed returns a future that is already successfully completed.
+func Completed[T any](v T) *Future[T] {
+	p := NewPromise[T]()
+	_ = p.Success(v)
+	return p.f
+}
+
+// Failed returns a future that is already completed with err.
+func Failed[T any](err error) *Future[T] {
+	p := NewPromise[T]()
+	_ = p.Failure(err)
+	return p.f
+}
+
+// Async runs fn on a new goroutine and returns its future.
+func Async[T any](fn func() (T, error)) *Future[T] {
+	p := NewPromise[T]()
+	go func() {
+		metrics.IncIDynamic()
+		v, err := fn()
+		if err != nil {
+			_ = p.Failure(err)
+			return
+		}
+		_ = p.Success(v)
+	}()
+	return p.f
+}
+
+// Map returns a future holding fn applied to f's value; errors pass
+// through.
+func Map[T, U any](f *Future[T], fn func(T) U) *Future[U] {
+	p := NewPromise[U]()
+	f.OnComplete(func(v T, err error) {
+		if err != nil {
+			_ = p.Failure(err)
+			return
+		}
+		metrics.IncIDynamic()
+		_ = p.Success(fn(v))
+	})
+	return p.f
+}
+
+// FlatMap chains an asynchronous continuation.
+func FlatMap[T, U any](f *Future[T], fn func(T) *Future[U]) *Future[U] {
+	p := NewPromise[U]()
+	f.OnComplete(func(v T, err error) {
+		if err != nil {
+			_ = p.Failure(err)
+			return
+		}
+		metrics.IncIDynamic()
+		fn(v).OnComplete(func(u U, err error) {
+			if err != nil {
+				_ = p.Failure(err)
+				return
+			}
+			_ = p.Success(u)
+		})
+	})
+	return p.f
+}
+
+// Zip pairs the results of two futures.
+func Zip[T, U any](a *Future[T], b *Future[U]) *Future[struct {
+	A T
+	B U
+}] {
+	return FlatMap(a, func(av T) *Future[struct {
+		A T
+		B U
+	}] {
+		return Map(b, func(bv U) struct {
+			A T
+			B U
+		} {
+			return struct {
+				A T
+				B U
+			}{av, bv}
+		})
+	})
+}
+
+// Sequence converts a slice of futures into a future of the slice of
+// results, failing fast on the first error.
+func Sequence[T any](fs []*Future[T]) *Future[[]T] {
+	p := NewPromise[[]T]()
+	n := len(fs)
+	if n == 0 {
+		_ = p.Success(nil)
+		return p.f
+	}
+	metrics.IncArray()
+	results := make([]T, n)
+	var mu sync.Mutex
+	remaining := n
+	for i, f := range fs {
+		i, f := i, f
+		f.OnComplete(func(v T, err error) {
+			if err != nil {
+				_ = p.Failure(err)
+				return
+			}
+			mu.Lock()
+			metrics.IncSynch()
+			results[i] = v
+			remaining--
+			last := remaining == 0
+			mu.Unlock()
+			if last {
+				_ = p.Success(results)
+			}
+		})
+	}
+	return p.f
+}
+
+// FirstCompletedOf completes with the first future to complete.
+func FirstCompletedOf[T any](fs []*Future[T]) *Future[T] {
+	p := NewPromise[T]()
+	for _, f := range fs {
+		f.OnComplete(func(v T, err error) {
+			if err != nil {
+				_ = p.Failure(err)
+				return
+			}
+			p.TrySuccess(v)
+		})
+	}
+	return p.f
+}

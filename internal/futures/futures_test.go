@@ -1,0 +1,234 @@
+package futures
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPromiseSuccess(t *testing.T) {
+	p := NewPromise[int]()
+	f := p.Future()
+	if _, _, ok := f.Poll(); ok {
+		t.Error("future complete before promise fulfilled")
+	}
+	if err := p.Success(7); err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.Await()
+	if err != nil || v != 7 {
+		t.Errorf("Await = (%v, %v), want (7, nil)", v, err)
+	}
+	if v, err, ok := f.Poll(); !ok || v != 7 || err != nil {
+		t.Errorf("Poll = (%v, %v, %v)", v, err, ok)
+	}
+}
+
+func TestPromiseFailure(t *testing.T) {
+	p := NewPromise[string]()
+	boom := errors.New("boom")
+	if err := p.Failure(boom); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.Future().Await()
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestDoubleCompletion(t *testing.T) {
+	p := NewPromise[int]()
+	if err := p.Success(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Success(2); !errors.Is(err, ErrAlreadyCompleted) {
+		t.Errorf("second Success err = %v", err)
+	}
+	if err := p.Failure(errors.New("x")); !errors.Is(err, ErrAlreadyCompleted) {
+		t.Errorf("Failure after Success err = %v", err)
+	}
+	if v, _ := p.Future().Await(); v != 1 {
+		t.Errorf("value = %d, want first completion 1", v)
+	}
+}
+
+func TestTrySuccessRace(t *testing.T) {
+	p := NewPromise[int]()
+	var wins atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if p.TrySuccess(i) {
+				wins.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if wins.Load() != 1 {
+		t.Errorf("winners = %d, want exactly 1", wins.Load())
+	}
+}
+
+func TestOnCompleteBeforeAndAfter(t *testing.T) {
+	p := NewPromise[int]()
+	var order []string
+	var mu sync.Mutex
+	record := func(s string) func(int, error) {
+		return func(int, error) {
+			mu.Lock()
+			order = append(order, s)
+			mu.Unlock()
+		}
+	}
+	p.Future().OnComplete(record("before"))
+	_ = p.Success(1)
+	p.Future().OnComplete(record("after"))
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "before" || order[1] != "after" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestCompletedAndFailed(t *testing.T) {
+	v, err := Completed(3).Await()
+	if v != 3 || err != nil {
+		t.Errorf("Completed = (%v, %v)", v, err)
+	}
+	boom := errors.New("boom")
+	if _, err := Failed[int](boom).Await(); !errors.Is(err, boom) {
+		t.Errorf("Failed err = %v", err)
+	}
+}
+
+func TestAsync(t *testing.T) {
+	f := Async(func() (int, error) { return 5, nil })
+	if v, err := f.Await(); v != 5 || err != nil {
+		t.Errorf("Async = (%v, %v)", v, err)
+	}
+	boom := errors.New("boom")
+	f2 := Async(func() (int, error) { return 0, boom })
+	if _, err := f2.Await(); !errors.Is(err, boom) {
+		t.Errorf("Async err = %v", err)
+	}
+}
+
+func TestMapFlatMapChain(t *testing.T) {
+	f := Completed(10)
+	g := Map(f, func(v int) int { return v * 2 })
+	h := FlatMap(g, func(v int) *Future[string] {
+		return Async(func() (string, error) {
+			if v == 20 {
+				return "twenty", nil
+			}
+			return "", errors.New("wrong")
+		})
+	})
+	v, err := h.Await()
+	if err != nil || v != "twenty" {
+		t.Errorf("chain = (%v, %v)", v, err)
+	}
+}
+
+func TestMapErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	f := Failed[int](boom)
+	calls := 0
+	g := Map(f, func(v int) int { calls++; return v })
+	if _, err := g.Await(); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	if calls != 0 {
+		t.Error("Map function ran despite failure")
+	}
+	h := FlatMap(f, func(int) *Future[int] { calls++; return Completed(0) })
+	if _, err := h.Await(); !errors.Is(err, boom) {
+		t.Errorf("FlatMap err = %v", err)
+	}
+	if calls != 0 {
+		t.Error("FlatMap function ran despite failure")
+	}
+}
+
+func TestZip(t *testing.T) {
+	a := Async(func() (int, error) { return 1, nil })
+	b := Async(func() (string, error) { return "x", nil })
+	pair, err := Zip(a, b).Await()
+	if err != nil || pair.A != 1 || pair.B != "x" {
+		t.Errorf("Zip = (%+v, %v)", pair, err)
+	}
+}
+
+func TestSequence(t *testing.T) {
+	fs := []*Future[int]{Completed(1), Async(func() (int, error) { return 2, nil }), Completed(3)}
+	vs, err := Sequence(fs).Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 || vs[0] != 1 || vs[1] != 2 || vs[2] != 3 {
+		t.Errorf("Sequence = %v", vs)
+	}
+	// Empty sequence completes immediately.
+	if vs, err := Sequence[int](nil).Await(); err != nil || vs != nil {
+		t.Errorf("empty Sequence = (%v, %v)", vs, err)
+	}
+	// Failure propagates.
+	boom := errors.New("boom")
+	bad := []*Future[int]{Completed(1), Failed[int](boom)}
+	if _, err := Sequence(bad).Await(); !errors.Is(err, boom) {
+		t.Errorf("Sequence err = %v", err)
+	}
+}
+
+func TestFirstCompletedOf(t *testing.T) {
+	slow := Async(func() (int, error) { time.Sleep(50 * time.Millisecond); return 1, nil })
+	fast := Completed(2)
+	v, err := FirstCompletedOf([]*Future[int]{slow, fast}).Await()
+	if err != nil || v != 2 {
+		t.Errorf("FirstCompletedOf = (%v, %v), want fast value 2", v, err)
+	}
+}
+
+func TestDoneChannelSelect(t *testing.T) {
+	p := NewPromise[int]()
+	select {
+	case <-p.Future().Done():
+		t.Fatal("done before completion")
+	default:
+	}
+	_ = p.Success(1)
+	select {
+	case <-p.Future().Done():
+	case <-time.After(time.Second):
+		t.Fatal("done channel never closed")
+	}
+}
+
+func TestConcurrentCallbacksAllRun(t *testing.T) {
+	p := NewPromise[int]()
+	var count atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Future().OnComplete(func(int, error) { count.Add(1) })
+		}()
+	}
+	// Complete concurrently with registrations.
+	go func() { _ = p.Success(9) }()
+	wg.Wait()
+	// All registrations either ran synchronously or were enqueued; wait
+	// briefly for any in-flight callback executions.
+	deadline := time.Now().Add(2 * time.Second)
+	for count.Load() != 50 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if count.Load() != 50 {
+		t.Errorf("callbacks run = %d, want 50", count.Load())
+	}
+}

@@ -1,0 +1,222 @@
+package memdb
+
+import (
+	"sync"
+
+	"renaissance/internal/metrics"
+)
+
+// btreeOrder is the maximum number of keys per node (order-32 B-tree keeps
+// the tree shallow and the nodes cache-friendly).
+const btreeOrder = 32
+
+// BTree is an ordered store backed by a B-tree under a readers–writer
+// lock: range scans and gets take the read lock, mutations the write lock.
+type BTree struct {
+	mu   sync.RWMutex
+	root *btreeNode
+	size int
+}
+
+type btreeNode struct {
+	keys     []string
+	values   [][]byte
+	children []*btreeNode // nil for leaves
+}
+
+func (n *btreeNode) leaf() bool { return n.children == nil }
+
+// NewBTree creates an empty B-tree store.
+func NewBTree() *BTree {
+	metrics.IncObject()
+	return &BTree{root: &btreeNode{}}
+}
+
+// Name implements Store.
+func (t *BTree) Name() string { return "btree" }
+
+// find returns the index of key in n.keys, or the child index to descend.
+func (n *btreeNode) find(key string) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && n.keys[lo] == key
+}
+
+// Get implements Store.
+func (t *BTree) Get(key string) ([]byte, bool) {
+	t.mu.RLock()
+	metrics.IncSynch()
+	defer t.mu.RUnlock()
+	n := t.root
+	for {
+		i, found := n.find(key)
+		if found {
+			return n.values[i], true
+		}
+		if n.leaf() {
+			return nil, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Put implements Store.
+func (t *BTree) Put(key string, value []byte) {
+	t.mu.Lock()
+	metrics.IncSynch()
+	defer t.mu.Unlock()
+	if len(t.root.keys) == btreeOrder {
+		// Split the root preemptively (top-down insertion).
+		metrics.IncObject()
+		old := t.root
+		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.root.splitChild(0)
+	}
+	if t.insertNonFull(t.root, key, value) {
+		t.size++
+	}
+}
+
+// splitChild splits the full child at index i of n.
+func (n *btreeNode) splitChild(i int) {
+	child := n.children[i]
+	mid := btreeOrder / 2
+	metrics.IncObject()
+	right := &btreeNode{
+		keys:   append([]string(nil), child.keys[mid+1:]...),
+		values: append([][]byte(nil), child.values[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[mid+1:]...)
+	}
+	upKey, upVal := child.keys[mid], child.values[mid]
+	child.keys = child.keys[:mid]
+	child.values = child.values[:mid]
+	if !child.leaf() {
+		child.children = child.children[:mid+1]
+	}
+
+	n.keys = append(n.keys, "")
+	n.values = append(n.values, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	copy(n.values[i+1:], n.values[i:])
+	n.keys[i], n.values[i] = upKey, upVal
+
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// insertNonFull inserts into a node known not to be full; it reports
+// whether a new key was added (vs. replaced).
+func (t *BTree) insertNonFull(n *btreeNode, key string, value []byte) bool {
+	for {
+		i, found := n.find(key)
+		if found {
+			n.values[i] = value
+			return false
+		}
+		if n.leaf() {
+			n.keys = append(n.keys, "")
+			n.values = append(n.values, nil)
+			copy(n.keys[i+1:], n.keys[i:])
+			copy(n.values[i+1:], n.values[i:])
+			n.keys[i], n.values[i] = key, value
+			return true
+		}
+		if len(n.children[i].keys) == btreeOrder {
+			n.splitChild(i)
+			if key == n.keys[i] {
+				n.values[i] = value
+				return false
+			}
+			if key > n.keys[i] {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// Delete implements Store. Deletion uses the simple "remove and rebuild
+// leaf path" strategy: the key is located and removed; internal keys are
+// replaced by their in-order predecessor. Nodes are allowed to underflow
+// (no rebalancing), which keeps lookups correct and is a common
+// simplification for in-memory stores with mixed workloads.
+func (t *BTree) Delete(key string) bool {
+	t.mu.Lock()
+	metrics.IncSynch()
+	defer t.mu.Unlock()
+	n := t.root
+	for {
+		i, found := n.find(key)
+		if found {
+			if n.leaf() {
+				n.keys = append(n.keys[:i], n.keys[i+1:]...)
+				n.values = append(n.values[:i], n.values[i+1:]...)
+			} else {
+				// Replace with in-order predecessor from the left subtree.
+				pred := n.children[i]
+				for !pred.leaf() {
+					pred = pred.children[len(pred.children)-1]
+				}
+				last := len(pred.keys) - 1
+				n.keys[i], n.values[i] = pred.keys[last], pred.values[last]
+				pred.keys = pred.keys[:last]
+				pred.values = pred.values[:last]
+			}
+			t.size--
+			return true
+		}
+		if n.leaf() {
+			return false
+		}
+		n = n.children[i]
+	}
+}
+
+// Len implements Store.
+func (t *BTree) Len() int {
+	t.mu.RLock()
+	metrics.IncSynch()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Range implements Store.
+func (t *BTree) Range(from, to string, fn func(string, []byte) bool) {
+	t.mu.RLock()
+	metrics.IncSynch()
+	defer t.mu.RUnlock()
+	t.root.rangeScan(from, to, fn)
+}
+
+func (n *btreeNode) rangeScan(from, to string, fn func(string, []byte) bool) bool {
+	i, _ := n.find(from)
+	for ; i < len(n.keys); i++ {
+		if !n.leaf() {
+			if !n.children[i].rangeScan(from, to, fn) {
+				return false
+			}
+		}
+		if n.keys[i] >= to {
+			return false
+		}
+		if n.keys[i] >= from {
+			if !fn(n.keys[i], n.values[i]) {
+				return false
+			}
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].rangeScan(from, to, fn)
+	}
+	return true
+}

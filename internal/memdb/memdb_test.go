@@ -1,0 +1,293 @@
+package memdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func allEngines(t *testing.T, fn func(t *testing.T, s Store)) {
+	t.Helper()
+	for _, s := range Engines() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) { fn(t, s) })
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	allEngines(t, func(t *testing.T, s Store) {
+		if _, ok := s.Get("missing"); ok {
+			t.Error("found missing key")
+		}
+		s.Put("k1", []byte("v1"))
+		s.Put("k2", []byte("v2"))
+		if v, ok := s.Get("k1"); !ok || string(v) != "v1" {
+			t.Errorf("Get k1 = (%q, %v)", v, ok)
+		}
+		s.Put("k1", []byte("v1b")) // overwrite
+		if v, _ := s.Get("k1"); string(v) != "v1b" {
+			t.Errorf("overwrite failed: %q", v)
+		}
+		if s.Len() != 2 {
+			t.Errorf("Len = %d, want 2", s.Len())
+		}
+		if !s.Delete("k1") {
+			t.Error("Delete existing returned false")
+		}
+		if s.Delete("k1") {
+			t.Error("Delete missing returned true")
+		}
+		if _, ok := s.Get("k1"); ok {
+			t.Error("deleted key still present")
+		}
+		if s.Len() != 1 {
+			t.Errorf("Len after delete = %d", s.Len())
+		}
+	})
+}
+
+func TestReinsertAfterDelete(t *testing.T) {
+	allEngines(t, func(t *testing.T, s Store) {
+		s.Put("x", []byte("1"))
+		s.Delete("x")
+		s.Put("x", []byte("2"))
+		if v, ok := s.Get("x"); !ok || string(v) != "2" {
+			t.Errorf("reinserted = (%q, %v)", v, ok)
+		}
+		if s.Len() != 1 {
+			t.Errorf("Len = %d", s.Len())
+		}
+	})
+}
+
+func TestManyKeysSortedRange(t *testing.T) {
+	allEngines(t, func(t *testing.T, s Store) {
+		const n = 2000
+		perm := rand.New(rand.NewSource(1)).Perm(n)
+		for _, i := range perm {
+			s.Put(fmt.Sprintf("key-%06d", i), []byte{byte(i)})
+		}
+		if s.Len() != n {
+			t.Fatalf("Len = %d, want %d", s.Len(), n)
+		}
+		// Full scan is ordered and complete.
+		var keys []string
+		s.Range("", "zzzz", func(k string, v []byte) bool {
+			keys = append(keys, k)
+			return true
+		})
+		if len(keys) != n {
+			t.Fatalf("range visited %d keys, want %d", len(keys), n)
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				t.Fatalf("range out of order at %d: %q >= %q", i, keys[i-1], keys[i])
+			}
+		}
+		// Bounded range.
+		count := 0
+		s.Range("key-000100", "key-000200", func(k string, v []byte) bool {
+			count++
+			return true
+		})
+		if count != 100 {
+			t.Errorf("bounded range visited %d, want 100", count)
+		}
+		// Early termination.
+		count = 0
+		s.Range("", "zzzz", func(string, []byte) bool {
+			count++
+			return count < 10
+		})
+		if count != 10 {
+			t.Errorf("early-terminated range visited %d", count)
+		}
+	})
+}
+
+func TestRangeSkipsDeleted(t *testing.T) {
+	allEngines(t, func(t *testing.T, s Store) {
+		for i := 0; i < 10; i++ {
+			s.Put(fmt.Sprintf("k%d", i), []byte("v"))
+		}
+		s.Delete("k3")
+		s.Delete("k7")
+		count := 0
+		s.Range("", "z", func(k string, v []byte) bool {
+			if k == "k3" || k == "k7" {
+				t.Errorf("deleted key %q visited", k)
+			}
+			count++
+			return true
+		})
+		if count != 8 {
+			t.Errorf("visited %d, want 8", count)
+		}
+	})
+}
+
+func TestConcurrentDisjointWriters(t *testing.T) {
+	allEngines(t, func(t *testing.T, s Store) {
+		const workers, perWorker = 8, 300
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					key := fmt.Sprintf("w%d-k%d", w, i)
+					s.Put(key, []byte(key))
+				}
+			}(w)
+		}
+		wg.Wait()
+		if s.Len() != workers*perWorker {
+			t.Errorf("Len = %d, want %d", s.Len(), workers*perWorker)
+		}
+		for w := 0; w < workers; w++ {
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i)
+				if v, ok := s.Get(key); !ok || string(v) != key {
+					t.Fatalf("lost write %q", key)
+				}
+			}
+		}
+	})
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	allEngines(t, func(t *testing.T, s Store) {
+		for i := 0; i < 100; i++ {
+			s.Put(fmt.Sprintf("base-%03d", i), []byte("x"))
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 6; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for i := 0; i < 500; i++ {
+					key := fmt.Sprintf("base-%03d", rng.Intn(100))
+					switch rng.Intn(3) {
+					case 0:
+						s.Put(key, []byte{byte(i)})
+					case 1:
+						s.Get(key)
+					case 2:
+						s.Range("base-000", "base-050", func(string, []byte) bool { return true })
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		// Every base key still resolves (no deletes in this mix).
+		for i := 0; i < 100; i++ {
+			if _, ok := s.Get(fmt.Sprintf("base-%03d", i)); !ok {
+				t.Fatalf("key base-%03d lost", i)
+			}
+		}
+	})
+}
+
+// Property: every engine agrees with a plain map reference model under a
+// random operation sequence.
+func TestPropertyMatchesMapModel(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		Key   uint8
+		Value uint8
+	}
+	for _, engine := range []func() Store{
+		func() Store { return NewShardedHash(4) },
+		func() Store { return NewBTree() },
+		func() Store { return NewSkipList() },
+	} {
+		engine := engine
+		f := func(ops []op) bool {
+			s := engine()
+			model := map[string][]byte{}
+			for _, o := range ops {
+				key := fmt.Sprintf("k%d", o.Key%32)
+				switch o.Kind % 3 {
+				case 0:
+					v := []byte{o.Value}
+					s.Put(key, v)
+					model[key] = v
+				case 1:
+					got, ok := s.Get(key)
+					want, wok := model[key]
+					if ok != wok || (ok && string(got) != string(want)) {
+						return false
+					}
+				case 2:
+					got := s.Delete(key)
+					_, want := model[key]
+					delete(model, key)
+					if got != want {
+						return false
+					}
+				}
+			}
+			return s.Len() == len(model)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", engine().Name(), err)
+		}
+	}
+}
+
+func TestBTreeSplits(t *testing.T) {
+	// Insert enough ascending keys to force multiple root splits.
+	bt := NewBTree()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		bt.Put(fmt.Sprintf("%08d", i), []byte{1})
+	}
+	if bt.Len() != n {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+	for i := 0; i < n; i += 97 {
+		if _, ok := bt.Get(fmt.Sprintf("%08d", i)); !ok {
+			t.Fatalf("missing key %d after splits", i)
+		}
+	}
+	// Delete every third key, verify the rest survive.
+	for i := 0; i < n; i += 3 {
+		if !bt.Delete(fmt.Sprintf("%08d", i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		_, ok := bt.Get(fmt.Sprintf("%08d", i))
+		if (i%3 == 0) == ok {
+			t.Fatalf("key %d presence = %v after deletions", i, ok)
+		}
+	}
+}
+
+func TestSkipListLevels(t *testing.T) {
+	if l := levelFor("some-key"); l < 1 || l > skipMaxLevel {
+		t.Errorf("levelFor out of range: %d", l)
+	}
+	if levelFor("abc") != levelFor("abc") {
+		t.Error("levelFor not deterministic")
+	}
+}
+
+func TestEnginesLineup(t *testing.T) {
+	engines := Engines()
+	if len(engines) != 3 {
+		t.Fatalf("lineup = %d engines", len(engines))
+	}
+	names := map[string]bool{}
+	for _, e := range engines {
+		names[e.Name()] = true
+	}
+	for _, want := range []string{"sharded-hash", "btree", "skiplist"} {
+		if !names[want] {
+			t.Errorf("missing engine %q", want)
+		}
+	}
+}

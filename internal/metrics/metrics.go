@@ -1,0 +1,164 @@
+// Package metrics implements the characterizing metrics of Table 2 of the
+// Renaissance paper (Prokopec et al., PLDI 2019): dynamic usage counters for
+// the basic concurrency primitives (synchronized sections, wait/notify,
+// atomic operations, thread parking), the basic object-oriented primitives
+// (object allocation, array allocation, dynamic dispatch), and the
+// invokedynamic-style closure dispatch counter, together with CPU
+// utilization, a cache-miss proxy, and reference-cycle normalization.
+//
+// On the JVM the paper collects these with DiSL bytecode instrumentation and
+// hardware counters. Here every substrate package (actors, stm, forkjoin,
+// rdd, ...) calls the Inc* functions at the corresponding primitive
+// operation, which keeps the instrumentation at the same abstraction
+// boundary with negligible perturbation (a single atomic add).
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Metric identifies one of the characterizing metrics of Table 2.
+type Metric int
+
+// The metrics of Table 2, in the paper's order.
+const (
+	Synch     Metric = iota // synchronized methods and blocks executed
+	Wait                    // Object.wait() analogues (guarded-block waits)
+	Notify                  // Object.notify()/notifyAll() analogues
+	Atomic                  // atomic memory operations (CAS, fetch-add, ...)
+	Park                    // thread/goroutine park operations
+	CPU                     // average CPU utilization (fraction of GOMAXPROCS)
+	CacheMiss               // cache misses (simulated or allocation proxy)
+	Object                  // objects allocated
+	Array                   // arrays (slices) allocated
+	Method                  // dynamic dispatch (virtual/interface calls)
+	IDynamic                // invokedynamic analogues (closure dispatch)
+
+	NumMetrics // number of metrics
+)
+
+var metricNames = [NumMetrics]string{
+	"synch", "wait", "notify", "atomic", "park", "cpu",
+	"cachemiss", "object", "array", "method", "idynamic",
+}
+
+// String returns the paper's short name for the metric.
+func (m Metric) String() string {
+	if m < 0 || m >= NumMetrics {
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+	return metricNames[m]
+}
+
+// AllMetrics returns the metrics in Table 2 order.
+func AllMetrics() []Metric {
+	ms := make([]Metric, NumMetrics)
+	for i := range ms {
+		ms[i] = Metric(i)
+	}
+	return ms
+}
+
+// Counted reports whether the metric is a dynamic event counter (as opposed
+// to the sampled CPU utilization, which is a ratio).
+func (m Metric) Counted() bool { return m != CPU }
+
+// A Recorder accumulates the event counters. The zero value is ready to use.
+// All methods are safe for concurrent use.
+type Recorder struct {
+	counts [NumMetrics]atomic.Int64
+}
+
+// Default is the process-wide recorder used by the substrate packages.
+var Default = &Recorder{}
+
+// Add adds delta occurrences of metric m.
+func (r *Recorder) Add(m Metric, delta int64) { r.counts[m].Add(delta) }
+
+// Get returns the current count of metric m.
+func (r *Recorder) Get(m Metric) int64 { return r.counts[m].Load() }
+
+// Reset zeroes every counter.
+func (r *Recorder) Reset() {
+	for i := range r.counts {
+		r.counts[i].Store(0)
+	}
+}
+
+// Snapshot captures the current value of every counter.
+func (r *Recorder) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range r.counts {
+		s.Counts[i] = r.counts[i].Load()
+	}
+	return s
+}
+
+// A Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	Counts [NumMetrics]int64
+}
+
+// Delta returns the per-metric difference s - earlier.
+func (s Snapshot) Delta(earlier Snapshot) Snapshot {
+	var d Snapshot
+	for i := range s.Counts {
+		d.Counts[i] = s.Counts[i] - earlier.Counts[i]
+	}
+	return d
+}
+
+// Get returns the snapshot's count for metric m.
+func (s Snapshot) Get(m Metric) int64 { return s.Counts[m] }
+
+// Convenience wrappers over the Default recorder. These are what the
+// substrate packages call at their primitive operations.
+
+// IncSynch records entry into a synchronized (mutex-protected) section.
+func IncSynch() { Default.counts[Synch].Add(1) }
+
+// IncWait records a guarded-block wait (condition-variable wait).
+func IncWait() { Default.counts[Wait].Add(1) }
+
+// IncNotify records a notify/notifyAll (condition-variable signal).
+func IncNotify() { Default.counts[Notify].Add(1) }
+
+// IncAtomic records one atomic memory operation (CAS, fetch-add, ...).
+func IncAtomic() { Default.counts[Atomic].Add(1) }
+
+// AddAtomic records n atomic memory operations.
+func AddAtomic(n int64) { Default.counts[Atomic].Add(n) }
+
+// IncPark records a goroutine park (blocking channel receive used as a
+// scheduler park point, or semaphore-style blocking).
+func IncPark() { Default.counts[Park].Add(1) }
+
+// IncObject records one object allocation performed by a substrate.
+func IncObject() { Default.counts[Object].Add(1) }
+
+// AddObject records n object allocations.
+func AddObject(n int64) { Default.counts[Object].Add(n) }
+
+// IncArray records one array (slice) allocation performed by a substrate.
+func IncArray() { Default.counts[Array].Add(1) }
+
+// AddArray records n array allocations.
+func AddArray(n int64) { Default.counts[Array].Add(n) }
+
+// IncMethod records one dynamically dispatched call (virtual/interface).
+func IncMethod() { Default.counts[Method].Add(1) }
+
+// AddMethod records n dynamically dispatched calls.
+func AddMethod(n int64) { Default.counts[Method].Add(n) }
+
+// IncIDynamic records one invokedynamic analogue: invoking a closure or
+// function value passed to a higher-order operation (map, filter, ...).
+func IncIDynamic() { Default.counts[IDynamic].Add(1) }
+
+// AddIDynamic records n invokedynamic analogues.
+func AddIDynamic(n int64) { Default.counts[IDynamic].Add(n) }
+
+// AddCacheMiss records n simulated cache misses (used by the RVM cache
+// simulator and by the allocation-pressure proxy).
+func AddCacheMiss(n int64) { Default.counts[CacheMiss].Add(n) }

@@ -1,0 +1,171 @@
+package minilang
+
+// Type is a minilang type.
+type Type int
+
+// The language's types. Bool values are represented as ints at runtime
+// (matching the RVM's comparison results).
+const (
+	TypeInvalid Type = iota
+	TypeInt
+	TypeFloat
+	TypeBool
+	TypeVoid
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeBool:
+		return "bool"
+	case TypeVoid:
+		return "void"
+	default:
+		return "invalid"
+	}
+}
+
+// Program is a parsed compilation unit.
+type ProgramAST struct {
+	Funcs []*FuncDecl
+}
+
+// FuncDecl is one function declaration.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    Type // TypeVoid when omitted
+	Body   *Block
+	Line   int
+}
+
+// Param is a typed parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// Block is a statement list.
+type Block struct {
+	Stmts []Stmt
+}
+
+// VarDecl declares and initializes a local.
+type VarDecl struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// Assign updates a local.
+type Assign struct {
+	Name  string
+	Value Expr
+	Line  int
+}
+
+// If is a conditional with optional else.
+type If struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+}
+
+// While is a pre-tested loop.
+type While struct {
+	Cond Expr
+	Body *Block
+}
+
+// Return exits the function.
+type Return struct {
+	Value Expr // nil for void
+	Line  int
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	E Expr
+}
+
+func (*Block) stmt()    {}
+func (*VarDecl) stmt()  {}
+func (*Assign) stmt()   {}
+func (*If) stmt()       {}
+func (*While) stmt()    {}
+func (*Return) stmt()   {}
+func (*ExprStmt) stmt() {}
+
+// Expr is an expression node. Typechecking records each node's type.
+type Expr interface {
+	expr()
+	TypeOf() Type
+}
+
+type typed struct{ T Type }
+
+func (t *typed) TypeOf() Type { return t.T }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	typed
+	Value int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	typed
+	Value float64
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	typed
+	Value bool
+}
+
+// VarRef reads a local or parameter.
+type VarRef struct {
+	typed
+	Name string
+	Line int
+}
+
+// Binary is a binary operation ("+", "-", "*", "/", "%", comparisons,
+// "&&", "||").
+type Binary struct {
+	typed
+	Op          string
+	Left, Right Expr
+	Line        int
+}
+
+// Unary is "-" or "!".
+type Unary struct {
+	typed
+	Op   string
+	Sub  Expr
+	Line int
+}
+
+// Call invokes a declared function.
+type Call struct {
+	typed
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*IntLit) expr()   {}
+func (*FloatLit) expr() {}
+func (*BoolLit) expr()  {}
+func (*VarRef) expr()   {}
+func (*Binary) expr()   {}
+func (*Unary) expr()    {}
+func (*Call) expr()     {}

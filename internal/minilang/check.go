@@ -1,0 +1,237 @@
+package minilang
+
+import "fmt"
+
+// TypeError is a semantic error.
+type TypeError struct {
+	Line int
+	Msg  string
+}
+
+func (e *TypeError) Error() string {
+	return fmt.Sprintf("minilang:%d: %s", e.Line, e.Msg)
+}
+
+func typeErr(line int, format string, args ...any) error {
+	return &TypeError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// funcSig is a function's checked signature.
+type funcSig struct {
+	params []Type
+	ret    Type
+}
+
+// Check typechecks the program in place, annotating expression types.
+func Check(prog *ProgramAST) error {
+	sigs := map[string]funcSig{}
+	for _, fn := range prog.Funcs {
+		if _, dup := sigs[fn.Name]; dup {
+			return typeErr(fn.Line, "function %q redeclared", fn.Name)
+		}
+		sig := funcSig{ret: fn.Ret}
+		for _, p := range fn.Params {
+			sig.params = append(sig.params, p.Type)
+		}
+		sigs[fn.Name] = sig
+	}
+
+	for _, fn := range prog.Funcs {
+		c := &checker{sigs: sigs, fn: fn, vars: map[string]Type{}}
+		for _, p := range fn.Params {
+			if _, dup := c.vars[p.Name]; dup {
+				return typeErr(fn.Line, "parameter %q redeclared", p.Name)
+			}
+			c.vars[p.Name] = p.Type
+		}
+		if err := c.block(fn.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	sigs map[string]funcSig
+	fn   *FuncDecl
+	vars map[string]Type
+}
+
+func (c *checker) block(b *Block) error {
+	for _, s := range b.Stmts {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *VarDecl:
+		t, err := c.expr(s.Init)
+		if err != nil {
+			return err
+		}
+		if t == TypeVoid {
+			return typeErr(s.Line, "cannot initialize %q with a void expression", s.Name)
+		}
+		if _, dup := c.vars[s.Name]; dup {
+			return typeErr(s.Line, "variable %q redeclared", s.Name)
+		}
+		c.vars[s.Name] = t
+		return nil
+	case *Assign:
+		vt, ok := c.vars[s.Name]
+		if !ok {
+			return typeErr(s.Line, "undefined variable %q", s.Name)
+		}
+		t, err := c.expr(s.Value)
+		if err != nil {
+			return err
+		}
+		if t != vt {
+			return typeErr(s.Line, "cannot assign %s to %s variable %q", t, vt, s.Name)
+		}
+		return nil
+	case *If:
+		t, err := c.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if t != TypeBool {
+			return typeErr(0, "if condition must be bool, got %s", t)
+		}
+		if err := c.block(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.block(s.Else)
+		}
+		return nil
+	case *While:
+		t, err := c.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if t != TypeBool {
+			return typeErr(0, "while condition must be bool, got %s", t)
+		}
+		return c.block(s.Body)
+	case *Return:
+		if s.Value == nil {
+			if c.fn.Ret != TypeVoid {
+				return typeErr(s.Line, "function %q must return %s", c.fn.Name, c.fn.Ret)
+			}
+			return nil
+		}
+		t, err := c.expr(s.Value)
+		if err != nil {
+			return err
+		}
+		if t != c.fn.Ret {
+			return typeErr(s.Line, "function %q returns %s, got %s", c.fn.Name, c.fn.Ret, t)
+		}
+		return nil
+	case *ExprStmt:
+		_, err := c.expr(s.E)
+		return err
+	case *Block:
+		return c.block(s)
+	default:
+		return typeErr(0, "unknown statement %T", s)
+	}
+}
+
+func (c *checker) expr(e Expr) (Type, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		e.T = TypeInt
+	case *FloatLit:
+		e.T = TypeFloat
+	case *BoolLit:
+		e.T = TypeBool
+	case *VarRef:
+		t, ok := c.vars[e.Name]
+		if !ok {
+			return TypeInvalid, typeErr(e.Line, "undefined variable %q", e.Name)
+		}
+		e.T = t
+	case *Unary:
+		st, err := c.expr(e.Sub)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		switch e.Op {
+		case "-":
+			if st != TypeInt && st != TypeFloat {
+				return TypeInvalid, typeErr(e.Line, "cannot negate %s", st)
+			}
+			e.T = st
+		case "!":
+			if st != TypeBool {
+				return TypeInvalid, typeErr(e.Line, "cannot logically negate %s", st)
+			}
+			e.T = TypeBool
+		}
+	case *Binary:
+		lt, err := c.expr(e.Left)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		rt, err := c.expr(e.Right)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		switch e.Op {
+		case "+", "-", "*", "/", "%":
+			if lt != rt || (lt != TypeInt && lt != TypeFloat) {
+				return TypeInvalid, typeErr(e.Line, "invalid operands %s %s %s", lt, e.Op, rt)
+			}
+			if e.Op == "%" && lt != TypeInt {
+				return TypeInvalid, typeErr(e.Line, "%% requires int operands")
+			}
+			e.T = lt
+		case "<", "<=", ">", ">=":
+			if lt != rt || (lt != TypeInt && lt != TypeFloat) {
+				return TypeInvalid, typeErr(e.Line, "invalid comparison %s %s %s", lt, e.Op, rt)
+			}
+			e.T = TypeBool
+		case "==", "!=":
+			if lt != rt {
+				return TypeInvalid, typeErr(e.Line, "cannot compare %s with %s", lt, rt)
+			}
+			e.T = TypeBool
+		case "&&", "||":
+			if lt != TypeBool || rt != TypeBool {
+				return TypeInvalid, typeErr(e.Line, "%s requires bool operands", e.Op)
+			}
+			e.T = TypeBool
+		default:
+			return TypeInvalid, typeErr(e.Line, "unknown operator %q", e.Op)
+		}
+	case *Call:
+		sig, ok := c.sigs[e.Name]
+		if !ok {
+			return TypeInvalid, typeErr(e.Line, "undefined function %q", e.Name)
+		}
+		if len(e.Args) != len(sig.params) {
+			return TypeInvalid, typeErr(e.Line, "%q expects %d arguments, got %d",
+				e.Name, len(sig.params), len(e.Args))
+		}
+		for i, a := range e.Args {
+			at, err := c.expr(a)
+			if err != nil {
+				return TypeInvalid, err
+			}
+			if at != sig.params[i] {
+				return TypeInvalid, typeErr(e.Line, "argument %d of %q: expected %s, got %s",
+					i+1, e.Name, sig.params[i], at)
+			}
+		}
+		e.T = sig.ret
+	default:
+		return TypeInvalid, typeErr(0, "unknown expression %T", e)
+	}
+	return e.TypeOf(), nil
+}

@@ -1,0 +1,254 @@
+package minilang
+
+import (
+	"fmt"
+
+	"renaissance/internal/rvm"
+)
+
+// ClassName is the RVM class that holds all compiled minilang functions.
+const ClassName = "ML"
+
+// Compile parses, typechecks, and code-generates the source into an RVM
+// program. The entry method is the function named "main" when present.
+func Compile(src string) (*rvm.Program, error) {
+	ast, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(ast); err != nil {
+		return nil, err
+	}
+	return Generate(ast)
+}
+
+// Generate lowers a checked AST to RVM bytecode.
+func Generate(prog *ProgramAST) (*rvm.Program, error) {
+	p := rvm.NewProgram()
+	class := rvm.NewClass(ClassName, nil)
+	for _, fn := range prog.Funcs {
+		m, err := genFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		m.Static = true
+		class.AddMethod(m)
+		if fn.Name == "main" {
+			p.Entry = m
+		}
+	}
+	if err := p.AddClass(class); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+type codegen struct {
+	asm      *rvm.Asm
+	slots    map[string]int
+	nextSlot int
+	labels   int
+}
+
+func (g *codegen) slot(name string) int {
+	if s, ok := g.slots[name]; ok {
+		return s
+	}
+	s := g.nextSlot
+	g.nextSlot++
+	g.slots[name] = s
+	return s
+}
+
+func (g *codegen) fresh(prefix string) string {
+	g.labels++
+	return fmt.Sprintf("%s_%d", prefix, g.labels)
+}
+
+func genFunc(fn *FuncDecl) (*rvm.Method, error) {
+	g := &codegen{asm: rvm.NewAsm(), slots: map[string]int{}}
+	for _, p := range fn.Params {
+		g.slot(p.Name)
+	}
+	if err := g.block(fn.Body); err != nil {
+		return nil, err
+	}
+	// Implicit return for void functions (and a safety net for non-void
+	// ones whose control flow provably returned already).
+	if fn.Ret == TypeVoid {
+		g.asm.Op(rvm.OpReturnVoid)
+	} else {
+		g.asm.ConstInt(0).Op(rvm.OpReturn)
+	}
+	m, err := g.asm.Build(fn.Name, len(fn.Params))
+	if err != nil {
+		return nil, err
+	}
+	// Ensure locals cover all named slots even if only stores touched them.
+	if g.nextSlot > m.NLocals {
+		m.NLocals = g.nextSlot
+	}
+	return m, nil
+}
+
+func (g *codegen) block(b *Block) error {
+	for _, s := range b.Stmts {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *VarDecl:
+		if err := g.expr(s.Init); err != nil {
+			return err
+		}
+		g.asm.Store(g.slot(s.Name))
+	case *Assign:
+		if err := g.expr(s.Value); err != nil {
+			return err
+		}
+		g.asm.Store(g.slot(s.Name))
+	case *If:
+		elseL := g.fresh("else")
+		endL := g.fresh("endif")
+		if err := g.expr(s.Cond); err != nil {
+			return err
+		}
+		g.asm.Jump(rvm.OpJumpIfNot, elseL)
+		if err := g.block(s.Then); err != nil {
+			return err
+		}
+		g.asm.Jump(rvm.OpJump, endL)
+		g.asm.Label(elseL)
+		if s.Else != nil {
+			if err := g.block(s.Else); err != nil {
+				return err
+			}
+		}
+		g.asm.Label(endL)
+	case *While:
+		headL := g.fresh("while")
+		endL := g.fresh("endwhile")
+		g.asm.Label(headL)
+		if err := g.expr(s.Cond); err != nil {
+			return err
+		}
+		g.asm.Jump(rvm.OpJumpIfNot, endL)
+		if err := g.block(s.Body); err != nil {
+			return err
+		}
+		g.asm.Jump(rvm.OpJump, headL)
+		g.asm.Label(endL)
+	case *Return:
+		if s.Value == nil {
+			g.asm.Op(rvm.OpReturnVoid)
+			return nil
+		}
+		if err := g.expr(s.Value); err != nil {
+			return err
+		}
+		g.asm.Op(rvm.OpReturn)
+	case *ExprStmt:
+		if err := g.expr(s.E); err != nil {
+			return err
+		}
+		// Every expression (including void calls, which push null in the
+		// RVM's calling convention) leaves exactly one value.
+		g.asm.Op(rvm.OpPop)
+	case *Block:
+		return g.block(s)
+	default:
+		return fmt.Errorf("minilang: unknown statement %T", s)
+	}
+	return nil
+}
+
+var binOps = map[string]rvm.Opcode{
+	"+": rvm.OpAdd, "-": rvm.OpSub, "*": rvm.OpMul, "/": rvm.OpDiv, "%": rvm.OpRem,
+	"<": rvm.OpCmpLT, "<=": rvm.OpCmpLE, ">": rvm.OpCmpGT, ">=": rvm.OpCmpGE,
+	"==": rvm.OpCmpEQ, "!=": rvm.OpCmpNE,
+}
+
+func (g *codegen) expr(e Expr) error {
+	switch e := e.(type) {
+	case *IntLit:
+		g.asm.ConstInt(e.Value)
+	case *FloatLit:
+		g.asm.ConstFloat(e.Value)
+	case *BoolLit:
+		v := int64(0)
+		if e.Value {
+			v = 1
+		}
+		g.asm.ConstInt(v)
+	case *VarRef:
+		g.asm.Load(g.slot(e.Name))
+	case *Unary:
+		if err := g.expr(e.Sub); err != nil {
+			return err
+		}
+		if e.Op == "-" {
+			g.asm.Op(rvm.OpNeg)
+		} else { // !x == (x == 0)
+			g.asm.ConstInt(0).Op(rvm.OpCmpEQ)
+		}
+	case *Binary:
+		switch e.Op {
+		case "&&":
+			// Short-circuit: if !left, result 0.
+			falseL := g.fresh("and_false")
+			endL := g.fresh("and_end")
+			if err := g.expr(e.Left); err != nil {
+				return err
+			}
+			g.asm.Jump(rvm.OpJumpIfNot, falseL)
+			if err := g.expr(e.Right); err != nil {
+				return err
+			}
+			g.asm.Jump(rvm.OpJump, endL)
+			g.asm.Label(falseL)
+			g.asm.ConstInt(0)
+			g.asm.Label(endL)
+		case "||":
+			trueL := g.fresh("or_true")
+			endL := g.fresh("or_end")
+			if err := g.expr(e.Left); err != nil {
+				return err
+			}
+			g.asm.Jump(rvm.OpJumpIf, trueL)
+			if err := g.expr(e.Right); err != nil {
+				return err
+			}
+			g.asm.Jump(rvm.OpJump, endL)
+			g.asm.Label(trueL)
+			g.asm.ConstInt(1)
+			g.asm.Label(endL)
+		default:
+			if err := g.expr(e.Left); err != nil {
+				return err
+			}
+			if err := g.expr(e.Right); err != nil {
+				return err
+			}
+			op, ok := binOps[e.Op]
+			if !ok {
+				return fmt.Errorf("minilang: no opcode for %q", e.Op)
+			}
+			g.asm.Op(op)
+		}
+	case *Call:
+		for _, a := range e.Args {
+			if err := g.expr(a); err != nil {
+				return err
+			}
+		}
+		g.asm.Invoke(rvm.OpInvokeStatic, ClassName+"."+e.Name, len(e.Args))
+	default:
+		return fmt.Errorf("minilang: unknown expression %T", e)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package minilang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Corpus deterministically generates n minilang compilation units of
+// varying shape. The dotty benchmark (Table 1) compiles a Scala codebase
+// with the Dotty compiler; our equivalent workload compiles this corpus
+// with the minilang compiler — lexing, parsing, typechecking, and code
+// generation all execute per unit.
+func Corpus(n int) []string {
+	units := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		units = append(units, generateUnit(i))
+	}
+	return units
+}
+
+// generateUnit builds one source file parameterized by its index: a few
+// helper functions (arithmetic, recursion, conditionals), a numeric loop,
+// and a main tying them together.
+func generateUnit(seed int) string {
+	var b strings.Builder
+	k := seed%7 + 2
+	fmt.Fprintf(&b, "// unit %d\n", seed)
+	fmt.Fprintf(&b, "func helper%d(x int) int {\n", seed)
+	fmt.Fprintf(&b, "\tif x > %d { return x - %d; } else { return x + %d; }\n", k, k, k+1)
+	b.WriteString("}\n")
+
+	fmt.Fprintf(&b, "func fact%d(n int) int {\n", seed)
+	b.WriteString("\tif n < 2 { return 1; }\n")
+	fmt.Fprintf(&b, "\treturn n * fact%d(n - 1);\n", seed)
+	b.WriteString("}\n")
+
+	fmt.Fprintf(&b, "func scale%d(v float) float { return v * %d.5 + 0.25; }\n", seed, k)
+
+	fmt.Fprintf(&b, "func loop%d(n int) int {\n", seed)
+	b.WriteString("\tvar acc = 0;\n\tvar i = 0;\n")
+	b.WriteString("\twhile i < n {\n")
+	fmt.Fprintf(&b, "\t\tacc = (acc + helper%d(i) * %d) %% 1000003;\n", seed, k)
+	b.WriteString("\t\ti = i + 1;\n\t}\n\treturn acc;\n}\n")
+
+	b.WriteString("func main() int {\n")
+	fmt.Fprintf(&b, "\tvar a = loop%d(%d);\n", seed, 50+10*(seed%5))
+	fmt.Fprintf(&b, "\tvar bv = fact%d(%d);\n", seed, 5+seed%4)
+	fmt.Fprintf(&b, "\tvar c = a %% 97 + bv %% 89;\n")
+	b.WriteString("\tif c > 100 && c % 2 == 0 { c = c - 1; }\n")
+	b.WriteString("\treturn c;\n}\n")
+	return b.String()
+}

@@ -1,0 +1,135 @@
+// Package minilang implements a small statically typed expression language
+// with a complete compiler pipeline — lexer, recursive-descent parser,
+// type checker, and a code generator targeting RVM bytecode. It plays the
+// role of the Dotty Scala compiler in the dotty benchmark (Table 1:
+// "data-structures, synchronization" — compiling a source corpus is the
+// workload), and it doubles as a human-writable frontend for the RVM used
+// by the minijit example.
+package minilang
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokKeyword // func var if else while return true false int float
+	TokOp      // operators and punctuation
+)
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+var keywords = map[string]bool{
+	"func": true, "var": true, "if": true, "else": true,
+	"while": true, "return": true, "true": true, "false": true,
+	"int": true, "float": true, "bool": true,
+}
+
+// SyntaxError is a lexing or parsing error with position information.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("minilang:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes the source.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start, l0, c0 := i, line, col
+			for i < n && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				advance(1)
+			}
+			text := src[start:i]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{kind, text, l0, c0})
+		case unicode.IsDigit(rune(c)):
+			start, l0, c0 := i, line, col
+			isFloat := false
+			for i < n && (unicode.IsDigit(rune(src[i])) || src[i] == '.') {
+				if src[i] == '.' {
+					if isFloat {
+						return nil, errAt(line, col, "malformed number")
+					}
+					isFloat = true
+				}
+				advance(1)
+			}
+			kind := TokInt
+			if isFloat {
+				kind = TokFloat
+			}
+			toks = append(toks, Token{kind, src[start:i], l0, c0})
+		default:
+			l0, c0 := line, col
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||":
+				toks = append(toks, Token{TokOp, two, l0, c0})
+				advance(2)
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '<', '>', '=', '!', '(', ')', '{', '}', ',', ';':
+				toks = append(toks, Token{TokOp, string(c), l0, c0})
+				advance(1)
+			default:
+				return nil, errAt(line, col, "unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", line, col})
+	return toks, nil
+}

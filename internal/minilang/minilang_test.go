@@ -1,0 +1,303 @@
+package minilang
+
+import (
+	"strings"
+	"testing"
+
+	"renaissance/internal/rvm"
+	"renaissance/internal/rvm/jit"
+	"renaissance/internal/rvm/opt"
+)
+
+// runMain compiles src and executes ML.main on the bytecode interpreter.
+func runMain(t *testing.T, src string) rvm.Value {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if p.Entry == nil {
+		t.Fatal("no main function")
+	}
+	vm := rvm.NewInterp(p)
+	v, err := vm.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	v := runMain(t, `func main() int { return 2 + 3 * 4 - 10 / 2; }`)
+	if v.AsInt() != 9 {
+		t.Errorf("result = %v, want 9", v)
+	}
+}
+
+func TestVariablesAndAssignment(t *testing.T) {
+	v := runMain(t, `
+func main() int {
+	var x = 10;
+	var y = x * 2;
+	x = y + 1;
+	return x;
+}`)
+	if v.AsInt() != 21 {
+		t.Errorf("result = %v, want 21", v)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	src := `
+func pick(a int) int {
+	if a > 10 { return 1; } else { return 2; }
+}
+func main() int { return pick(20) * 10 + pick(5); }`
+	if v := runMain(t, src); v.AsInt() != 12 {
+		t.Errorf("result = %v, want 12", v)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	src := `
+func main() int {
+	var sum = 0;
+	var i = 1;
+	while i <= 100 {
+		sum = sum + i;
+		i = i + 1;
+	}
+	return sum;
+}`
+	if v := runMain(t, src); v.AsInt() != 5050 {
+		t.Errorf("result = %v, want 5050", v)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	src := `
+func fib(n int) int {
+	if n < 2 { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main() int { return fib(15); }`
+	if v := runMain(t, src); v.AsInt() != 610 {
+		t.Errorf("fib(15) = %v, want 610", v)
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	src := `
+func area(r float) float { return 3.14159 * r * r; }
+func main() float { return area(2.0); }`
+	v := runMain(t, src)
+	if got := v.AsFloat(); got < 12.56 || got > 12.57 {
+		t.Errorf("area = %v", got)
+	}
+}
+
+func TestBooleansAndShortCircuit(t *testing.T) {
+	src := `
+func boom() bool { return true; }
+func main() int {
+	var a = false && boom();
+	var b = true || boom();
+	var c = !a && b;
+	if c { return 1; }
+	return 0;
+}`
+	if v := runMain(t, src); v.AsInt() != 1 {
+		t.Errorf("result = %v, want 1", v)
+	}
+}
+
+func TestModulo(t *testing.T) {
+	if v := runMain(t, `func main() int { return 17 % 5; }`); v.AsInt() != 2 {
+		t.Errorf("17 %% 5 = %v", v)
+	}
+}
+
+func TestVoidFunction(t *testing.T) {
+	src := `
+func noop() { return; }
+func main() int { noop(); return 7; }`
+	if v := runMain(t, src); v.AsInt() != 7 {
+		t.Errorf("result = %v", v)
+	}
+}
+
+func TestCompiledThroughJIT(t *testing.T) {
+	// The minilang output must survive the full optimizing pipeline.
+	src := `
+func sumsq(n int) int {
+	var s = 0;
+	var i = 0;
+	while i < n {
+		s = s + i * i;
+		i = i + 1;
+	}
+	return s;
+}
+func main() int { return sumsq(50); }`
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rvm.NewInterp(p).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := jit.Compile(p, opt.OptPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("jit result %v, interpreter %v", got, want)
+	}
+	if stats.Cycles <= 0 {
+		t.Error("no cycles")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("func @"); err == nil {
+		t.Error("bad character accepted")
+	}
+	if _, err := Lex("1.2.3"); err == nil {
+		t.Error("malformed number accepted")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("func f()\n{ }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("first token at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	var brace *Token
+	for i := range toks {
+		if toks[i].Text == "{" {
+			brace = &toks[i]
+		}
+	}
+	if brace == nil || brace.Line != 2 {
+		t.Errorf("brace position wrong: %+v", brace)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`func { }`,                          // missing name
+		`func f( { }`,                       // bad params
+		`func f() int { return 1 }`,         // missing semicolon
+		`func f() int { if x { return 1; }`, // unterminated
+		`func f() int { return (1; }`,       // unbalanced paren
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	cases := []string{
+		`func f() int { return 1.5; }`,                     // wrong return type
+		`func f() int { var x = 1; x = 2.0; return x; }`,   // assign mismatch
+		`func f() int { return g(); }`,                     // undefined function
+		`func f(a int) int { return f(1, 2); }`,            // arity
+		`func f() int { return y; }`,                       // undefined var
+		`func f() int { if 3 { return 1; } return 0; }`,    // non-bool cond
+		`func f() int { while 1.0 { } return 0; }`,         // non-bool cond
+		`func f() int { var x = 1; var x = 2; return x; }`, // redeclared
+		`func f() int { return 1 + 2.0; }`,                 // mixed arith
+		`func f() int { return 1.0 % 2.0; }`,               // float modulo
+		`func f() int { return -true; }`,                   // negate bool
+		`func f() int { return !3; }`,                      // not-int
+		`func f() int { return true && 1; }`,               // non-bool and
+		`func f() { } func f() { }`,                        // duplicate function
+		`func f() { return 3; }`,                           // value from void
+	}
+	for _, src := range cases {
+		ast, err := Parse(src)
+		if err != nil {
+			t.Errorf("parse error for %q: %v", src, err)
+			continue
+		}
+		if err := Check(ast); err == nil {
+			t.Errorf("typechecker accepted %q", src)
+		}
+	}
+}
+
+// TestCorpusCompilation is the dotty-benchmark shape: compile a corpus of
+// generated source files and verify the outputs.
+func TestCorpusCompilation(t *testing.T) {
+	corpus := Corpus(12)
+	if len(corpus) != 12 {
+		t.Fatalf("corpus size = %d", len(corpus))
+	}
+	for i, src := range corpus {
+		p, err := Compile(src)
+		if err != nil {
+			t.Fatalf("unit %d: %v\n%s", i, err, src)
+		}
+		if p.Entry == nil {
+			t.Fatalf("unit %d has no main", i)
+		}
+		if _, err := rvm.NewInterp(p).Run(); err != nil {
+			t.Fatalf("unit %d run: %v", i, err)
+		}
+	}
+	// Deterministic generation.
+	again := Corpus(12)
+	for i := range corpus {
+		if corpus[i] != again[i] {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+}
+
+func TestCorpusIsNontrivial(t *testing.T) {
+	for _, src := range Corpus(4) {
+		if !strings.Contains(src, "while") || !strings.Contains(src, "func") {
+			t.Errorf("corpus unit too trivial:\n%s", src)
+		}
+	}
+}
+
+// TestCorpusThroughOptimizer compiles every corpus unit through the full
+// optimizing pipeline and checks the result against the bytecode
+// interpreter — the dotty workload's output must survive every
+// optimization.
+func TestCorpusThroughOptimizer(t *testing.T) {
+	for i, src := range Corpus(10) {
+		p, err := Compile(src)
+		if err != nil {
+			t.Fatalf("unit %d: %v", i, err)
+		}
+		want, err := rvm.NewInterp(p).Run()
+		if err != nil {
+			t.Fatalf("unit %d interp: %v", i, err)
+		}
+		for _, pipe := range []*opt.Pipeline{opt.BaselinePipeline(), opt.OptPipeline()} {
+			c, err := jit.Compile(p, pipe)
+			if err != nil {
+				t.Fatalf("unit %d compile (%s): %v", i, pipe.Name, err)
+			}
+			got, _, err := c.Run()
+			if err != nil {
+				t.Fatalf("unit %d run (%s): %v", i, pipe.Name, err)
+			}
+			if !got.Equal(want) {
+				t.Errorf("unit %d (%s): %v != %v", i, pipe.Name, got, want)
+			}
+		}
+	}
+}

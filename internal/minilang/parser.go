@@ -1,0 +1,319 @@
+package minilang
+
+import "strconv"
+
+// Parse lexes and parses a compilation unit.
+func Parse(src string) (*ProgramAST, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &ProgramAST{}
+	for !p.at(TokEOF, "") {
+		fn, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = "identifier"
+		}
+		return t, errAt(t.Line, t.Col, "expected %q, found %q", want, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) typeName() (Type, error) {
+	t := p.cur()
+	switch {
+	case p.accept(TokKeyword, "int"):
+		return TypeInt, nil
+	case p.accept(TokKeyword, "float"):
+		return TypeFloat, nil
+	case p.accept(TokKeyword, "bool"):
+		return TypeBool, nil
+	}
+	return TypeInvalid, errAt(t.Line, t.Col, "expected type, found %q", t.Text)
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	kw, err := p.expect(TokKeyword, "func")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.Text, Ret: TypeVoid, Line: kw.Line}
+	for !p.at(TokOp, ")") {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(TokOp, ","); err != nil {
+				return nil, err
+			}
+		}
+		pname, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ptype, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, Param{pname.Text, ptype})
+	}
+	if _, err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	if p.at(TokKeyword, "int") || p.at(TokKeyword, "float") || p.at(TokKeyword, "bool") {
+		fn.Ret, _ = p.typeName()
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	if _, err := p.expect(TokOp, "{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.at(TokOp, "}") {
+		if p.at(TokEOF, "") {
+			t := p.cur()
+			return nil, errAt(t.Line, t.Col, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.pos++ // consume }
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.accept(TokKeyword, "var"):
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, "="); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ";"); err != nil {
+			return nil, err
+		}
+		return &VarDecl{Name: name.Text, Init: init, Line: name.Line}, nil
+
+	case p.accept(TokKeyword, "if"):
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els *Block
+		if p.accept(TokKeyword, "else") {
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &If{Cond: cond, Then: then, Else: els}, nil
+
+	case p.accept(TokKeyword, "while"):
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body}, nil
+
+	case p.accept(TokKeyword, "return"):
+		r := &Return{Line: t.Line}
+		if !p.at(TokOp, ";") {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.Value = v
+		}
+		if _, err := p.expect(TokOp, ";"); err != nil {
+			return nil, err
+		}
+		return r, nil
+
+	case t.Kind == TokIdent && p.toks[p.pos+1].Kind == TokOp && p.toks[p.pos+1].Text == "=":
+		name := p.next()
+		p.pos++ // =
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ";"); err != nil {
+			return nil, err
+		}
+		return &Assign{Name: name.Text, Value: v, Line: name.Line}, nil
+
+	default:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{E: e}, nil
+	}
+}
+
+// Operator precedence climbing.
+var precedence = map[string]int{
+	"||": 1, "&&": 2,
+	"==": 3, "!=": 3, "<": 4, "<=": 4, ">": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokOp {
+			return left, nil
+		}
+		prec, isOp := precedence[t.Text]
+		if !isOp || prec < minPrec {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: t.Text, Left: left, Right: right, Line: t.Line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokOp && (t.Text == "-" || t.Text == "!") {
+		p.pos++
+		sub, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: t.Text, Sub: sub, Line: t.Line}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokInt:
+		p.pos++
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errAt(t.Line, t.Col, "bad integer %q", t.Text)
+		}
+		return &IntLit{Value: v}, nil
+	case t.Kind == TokFloat:
+		p.pos++
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errAt(t.Line, t.Col, "bad float %q", t.Text)
+		}
+		return &FloatLit{Value: v}, nil
+	case p.accept(TokKeyword, "true"):
+		return &BoolLit{Value: true}, nil
+	case p.accept(TokKeyword, "false"):
+		return &BoolLit{Value: false}, nil
+	case p.accept(TokOp, "("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokIdent:
+		p.pos++
+		if p.accept(TokOp, "(") {
+			call := &Call{Name: t.Text, Line: t.Line}
+			for !p.at(TokOp, ")") {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(TokOp, ","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.pos++ // )
+			return call, nil
+		}
+		return &VarRef{Name: t.Text, Line: t.Line}, nil
+	default:
+		return nil, errAt(t.Line, t.Col, "unexpected token %q", t.Text)
+	}
+}

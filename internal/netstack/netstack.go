@@ -1,0 +1,233 @@
+// Package netstack implements a small asynchronous request/response
+// framework over TCP loopback in the style of Twitter Finagle on Netty,
+// used by the finagle-http and finagle-chirper benchmarks (Table 1:
+// "network stack, futures, atomics / message-passing"). As in the paper,
+// network communication is encoded as multiple threads exercising the
+// network stack within a single process over the loopback interface
+// (paper §2.2).
+//
+// The wire protocol is a 4-byte big-endian length prefix followed by the
+// payload. Servers answer each request with a service function returning a
+// future; clients multiplex calls over a connection pool and return
+// futures.
+package netstack
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"renaissance/internal/futures"
+	"renaissance/internal/metrics"
+)
+
+// MaxFrame bounds a single message; larger frames are rejected as corrupt.
+const MaxFrame = 16 << 20
+
+// ErrClosed is returned by calls on a closed client or server.
+var ErrClosed = errors.New("netstack: closed")
+
+// Service handles one request and eventually produces a response.
+type Service func(req []byte) *futures.Future[[]byte]
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("netstack: frame of %d bytes exceeds limit", n)
+	}
+	metrics.IncArray()
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Server accepts loopback connections and serves requests with a Service.
+type Server struct {
+	ln     net.Listener
+	svc    Service
+	wg     sync.WaitGroup
+	closed atomic.Bool
+	// Requests counts served requests, for benchmark validation.
+	Requests atomic.Int64
+}
+
+// Serve starts a server on the given address ("127.0.0.1:0" picks a free
+// port).
+func Serve(addr string, svc Service) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, svc: svc}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	var writeMu sync.Mutex
+	var pending sync.WaitGroup
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			break
+		}
+		metrics.IncAtomic()
+		s.Requests.Add(1)
+		metrics.IncIDynamic()
+		fut := s.svc(req)
+		pending.Add(1)
+		fut.OnComplete(func(resp []byte, err error) {
+			defer pending.Done()
+			if err != nil {
+				resp = append([]byte("ERR:"), err.Error()...)
+			}
+			writeMu.Lock()
+			metrics.IncSynch()
+			defer writeMu.Unlock()
+			_ = writeFrame(conn, resp)
+		})
+	}
+	pending.Wait()
+}
+
+// Close stops accepting and waits for in-flight connections to finish
+// their current reads.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Client issues requests to a server over a pool of connections. Each
+// pooled connection carries one request at a time (like a Finagle
+// connection-pool client without HTTP/2-style multiplexing).
+type Client struct {
+	addr   string
+	pool   chan net.Conn
+	size   int
+	closed atomic.Bool
+	mu     sync.Mutex
+	conns  []net.Conn
+}
+
+// Dial creates a client with the given connection-pool size.
+func Dial(addr string, poolSize int) (*Client, error) {
+	if poolSize <= 0 {
+		poolSize = 4
+	}
+	c := &Client{addr: addr, pool: make(chan net.Conn, poolSize), size: poolSize}
+	for i := 0; i < poolSize; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+		c.mu.Lock()
+		c.conns = append(c.conns, conn)
+		c.mu.Unlock()
+		c.pool <- conn
+	}
+	return c, nil
+}
+
+// Call sends the request and returns a future of the response. The request
+// runs on its own goroutine; ordering across concurrent calls is not
+// defined, matching asynchronous RPC clients.
+func (c *Client) Call(req []byte) *futures.Future[[]byte] {
+	p := futures.NewPromise[[]byte]()
+	if c.closed.Load() {
+		_ = p.Failure(ErrClosed)
+		return p.Future()
+	}
+	go func() {
+		metrics.IncPark()
+		conn, ok := <-c.pool
+		if !ok {
+			_ = p.Failure(ErrClosed)
+			return
+		}
+		resp, err := roundTrip(conn, req)
+		// Return the connection before completing so dependent calls in
+		// the continuation can acquire it.
+		if c.closed.Load() {
+			conn.Close()
+		} else {
+			c.pool <- conn
+		}
+		if err != nil {
+			_ = p.Failure(err)
+			return
+		}
+		_ = p.Success(resp)
+	}()
+	return p.Future()
+}
+
+func roundTrip(conn net.Conn, req []byte) ([]byte, error) {
+	if err := writeFrame(conn, req); err != nil {
+		return nil, err
+	}
+	return readFrame(conn)
+}
+
+// CallSync is a convenience blocking round trip.
+func (c *Client) CallSync(req []byte) ([]byte, error) {
+	return c.Call(req).Await()
+}
+
+// Close tears down the pool.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, conn := range c.conns {
+		_ = conn.Close()
+	}
+	c.conns = nil
+	return nil
+}

@@ -1,0 +1,197 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAnalyzeShapeErrors(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Error("want error for empty matrix")
+	}
+	if _, err := Analyze([][]float64{{}}); err == nil {
+		t.Error("want error for zero columns")
+	}
+	if _, err := Analyze([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("want error for ragged matrix")
+	}
+}
+
+// TestPerfectCorrelation checks that two perfectly correlated variables
+// collapse onto one component carrying all variance.
+func TestPerfectCorrelation(t *testing.T) {
+	x := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}, {5, 10}}
+	res, err := Analyze(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExplainedVariance[0] < 0.999 {
+		t.Errorf("PC1 explains %g, want ~1", res.ExplainedVariance[0])
+	}
+	// Loadings of the two variables on PC1 should be equal in magnitude.
+	if math.Abs(math.Abs(res.Loadings[0][0])-math.Abs(res.Loadings[1][0])) > 1e-9 {
+		t.Errorf("PC1 loadings %g vs %g, want equal magnitude",
+			res.Loadings[0][0], res.Loadings[1][0])
+	}
+}
+
+// TestIndependentVariables checks that uncorrelated standardized variables
+// yield eigenvalues near 1 each.
+func TestIndependentVariables(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 2000
+	x := make([][]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	res, err := Analyze(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range res.Eigenvalues {
+		if v < 0.8 || v > 1.2 {
+			t.Errorf("eigenvalue[%d] = %g, want ~1", k, v)
+		}
+	}
+}
+
+// TestEigenvalueSumEqualsVariance: for standardized data the eigenvalues sum
+// to the number of non-degenerate variables.
+func TestEigenvalueSum(t *testing.T) {
+	x := [][]float64{
+		{1, 10, 3}, {2, 8, 1}, {3, 11, 4}, {4, 7, 2}, {5, 12, 6},
+	}
+	res, err := Analyze(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range res.Eigenvalues {
+		sum += v
+	}
+	if math.Abs(sum-3) > 1e-9 {
+		t.Errorf("eigenvalue sum = %g, want 3", sum)
+	}
+	// Eigenvalues are sorted descending.
+	for i := 1; i < len(res.Eigenvalues); i++ {
+		if res.Eigenvalues[i] > res.Eigenvalues[i-1]+1e-12 {
+			t.Errorf("eigenvalues not descending: %v", res.Eigenvalues)
+		}
+	}
+}
+
+// TestLoadingsOrthonormal checks L^T L = I.
+func TestLoadingsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, k := 50, 5
+	x := make([][]float64, n)
+	for i := range x {
+		x[i] = make([]float64, k)
+		base := rng.NormFloat64()
+		for j := range x[i] {
+			x[i][j] = base*float64(j) + rng.NormFloat64()
+		}
+	}
+	res, err := Analyze(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			dot := 0.0
+			for j := 0; j < k; j++ {
+				dot += res.Loadings[j][a] * res.Loadings[j][b]
+			}
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Errorf("L^T L [%d][%d] = %g, want %g", a, b, dot, want)
+			}
+		}
+	}
+}
+
+// TestScoresVariance: the sample variance of the scores on component k
+// equals eigenvalue k.
+func TestScoresVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, k := 120, 4
+	x := make([][]float64, n)
+	for i := range x {
+		x[i] = make([]float64, k)
+		shared := rng.NormFloat64()
+		for j := range x[i] {
+			x[i][j] = shared + 0.5*rng.NormFloat64()
+		}
+	}
+	res, err := Analyze(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < k; c++ {
+		mean := 0.0
+		for i := 0; i < n; i++ {
+			mean += res.Scores[i][c]
+		}
+		mean /= float64(n)
+		ss := 0.0
+		for i := 0; i < n; i++ {
+			d := res.Scores[i][c] - mean
+			ss += d * d
+		}
+		v := ss / float64(n-1)
+		if math.Abs(v-res.Eigenvalues[c]) > 1e-6*math.Max(1, res.Eigenvalues[c]) {
+			t.Errorf("score variance on PC%d = %g, want eigenvalue %g",
+				c+1, v, res.Eigenvalues[c])
+		}
+	}
+}
+
+// TestDegenerateColumn: a constant column must not produce NaNs.
+func TestDegenerateColumn(t *testing.T) {
+	x := [][]float64{{1, 7, 2}, {2, 7, 4}, {3, 7, 6}}
+	res, err := Analyze(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Scores {
+		for _, s := range res.Scores[i] {
+			if math.IsNaN(s) {
+				t.Fatal("NaN score with degenerate column")
+			}
+		}
+	}
+	for _, v := range res.Eigenvalues {
+		if math.IsNaN(v) || v < -1e-9 {
+			t.Fatalf("bad eigenvalue %g", v)
+		}
+	}
+}
+
+// TestKnownTwoByTwo checks the analytic solution for a 2x2 correlation
+// matrix with correlation r: eigenvalues 1+r and 1-r.
+func TestKnownTwoByTwo(t *testing.T) {
+	// Construct data with controlled correlation.
+	rng := rand.New(rand.NewSource(19))
+	n := 5000
+	r := 0.6
+	x := make([][]float64, n)
+	for i := range x {
+		a := rng.NormFloat64()
+		b := r*a + math.Sqrt(1-r*r)*rng.NormFloat64()
+		x[i] = []float64{a, b}
+	}
+	res, err := Analyze(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Eigenvalues[0]-(1+r)) > 0.06 {
+		t.Errorf("lambda1 = %g, want ~%g", res.Eigenvalues[0], 1+r)
+	}
+	if math.Abs(res.Eigenvalues[1]-(1-r)) > 0.06 {
+		t.Errorf("lambda2 = %g, want ~%g", res.Eigenvalues[1], 1-r)
+	}
+}

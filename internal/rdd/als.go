@@ -1,0 +1,264 @@
+package rdd
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"renaissance/internal/metrics"
+)
+
+// Rating is one (user, item, rating) observation, the input of the als and
+// movie-lens benchmarks.
+type Rating struct {
+	User, Item int
+	Value      float64
+}
+
+// ALSModel holds the fitted latent factors.
+type ALSModel struct {
+	Rank        int
+	UserFactors map[int][]float64
+	ItemFactors map[int][]float64
+}
+
+// ALS fits latent factors by alternating least squares with L2
+// regularization: holding the item factors fixed, every user's factor
+// vector is the solution of a rank×rank normal-equation system, solved in
+// parallel across users via the RDD machinery, and vice versa — the als
+// benchmark kernel (Table 1: "data-parallel, compute-bound").
+func ALS(ratings *RDD[Rating], rank, iterations int, lambda float64, seed int64) (*ALSModel, error) {
+	all := ratings.Collect()
+	if len(all) == 0 {
+		return nil, ErrEmpty
+	}
+	ratings.Cache()
+
+	byUser := GroupByKey(Map(ratings, func(r Rating) Pair[int, Rating] {
+		return KV(r.User, r)
+	}), 0)
+	byItem := GroupByKey(Map(ratings, func(r Rating) Pair[int, Rating] {
+		return KV(r.Item, r)
+	}), 0)
+	userRatings := CollectAsMap(byUser)
+	itemRatings := CollectAsMap(byItem)
+
+	rng := rand.New(rand.NewSource(seed))
+	model := &ALSModel{
+		Rank:        rank,
+		UserFactors: make(map[int][]float64, len(userRatings)),
+		ItemFactors: make(map[int][]float64, len(itemRatings)),
+	}
+	for u := range userRatings {
+		model.UserFactors[u] = randomVector(rng, rank)
+	}
+	for i := range itemRatings {
+		model.ItemFactors[i] = randomVector(rng, rank)
+	}
+
+	for it := 0; it < iterations; it++ {
+		solveSide(userRatings, model.UserFactors, model.ItemFactors, rank, lambda,
+			func(r Rating) int { return r.Item })
+		solveSide(itemRatings, model.ItemFactors, model.UserFactors, rank, lambda,
+			func(r Rating) int { return r.User })
+	}
+	return model, nil
+}
+
+// solveSide updates every factor vector on one side of the bipartite
+// rating graph, in parallel.
+func solveSide(ratingsOf map[int][]Rating, target, other map[int][]float64,
+	rank int, lambda float64, counterpart func(Rating) int) {
+
+	ids := make([]int, 0, len(ratingsOf))
+	for id := range ratingsOf {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids) // deterministic iteration order
+	factors := parMapSlice(ids, func(id int) []float64 {
+		rs := ratingsOf[id]
+		// Normal equations: (Y^T Y + λ n I) x = Y^T b.
+		a := newMatrix(rank)
+		b := make([]float64, rank)
+		for _, r := range rs {
+			y := other[counterpart(r)]
+			for i := 0; i < rank; i++ {
+				b[i] += r.Value * y[i]
+				for j := 0; j < rank; j++ {
+					a[i][j] += y[i] * y[j]
+				}
+			}
+		}
+		reg := lambda * float64(len(rs))
+		for i := 0; i < rank; i++ {
+			a[i][i] += reg
+		}
+		x, ok := SolveLinearSystem(a, b)
+		if !ok {
+			return make([]float64, rank)
+		}
+		return x
+	})
+	for i, id := range ids {
+		target[id] = factors[i]
+	}
+}
+
+func randomVector(rng *rand.Rand, n int) []float64 {
+	metrics.IncArray()
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	return v
+}
+
+func newMatrix(n int) [][]float64 {
+	metrics.IncArray()
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	return m
+}
+
+// Predict returns the model's rating estimate for (user, item); unknown
+// ids predict 0.
+func (m *ALSModel) Predict(user, item int) float64 {
+	u, okU := m.UserFactors[user]
+	v, okI := m.ItemFactors[item]
+	if !okU || !okI {
+		return 0
+	}
+	dot := 0.0
+	for i := range u {
+		dot += u[i] * v[i]
+	}
+	return dot
+}
+
+// RMSE computes the root-mean-square error of the model on the ratings.
+func (m *ALSModel) RMSE(ratings []Rating) float64 {
+	if len(ratings) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range ratings {
+		d := m.Predict(r.User, r.Item) - r.Value
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(ratings)))
+}
+
+// Recommend returns the top-n unrated items for the user, by predicted
+// rating (the movie-lens recommender step).
+func (m *ALSModel) Recommend(user int, rated map[int]bool, n int) []int {
+	type scored struct {
+		item  int
+		score float64
+	}
+	var cands []scored
+	for item := range m.ItemFactors {
+		if rated[item] {
+			continue
+		}
+		cands = append(cands, scored{item, m.Predict(user, item)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].item < cands[j].item
+	})
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[i].item
+	}
+	return out
+}
+
+// SolveLinearSystem solves a·x = b by Gaussian elimination with partial
+// pivoting. It reports false for (numerically) singular systems. The
+// matrix a is modified in place.
+func SolveLinearSystem(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(a)
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, false
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		x[col], x[pivot] = x[pivot], x[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back-substitute.
+	for col := n - 1; col >= 0; col-- {
+		sum := x[col]
+		for c := col + 1; c < n; c++ {
+			sum -= a[col][c] * x[c]
+		}
+		x[col] = sum / a[col][col]
+	}
+	return x, true
+}
+
+// PageRank runs the iterative PageRank computation over the edge list with
+// the given damping and iteration count — the page-rank benchmark kernel
+// (Table 1: "data-parallel, atomics"). It returns the rank of every vertex
+// that has at least one outgoing or incoming edge.
+func PageRank(edges *RDD[Pair[int, int]], iterations int, damping float64) map[int]float64 {
+	edges.Cache()
+	links := GroupByKey(edges, 0).Cache()
+
+	// All vertices (sources and sinks).
+	metrics.IncObject()
+	vertices := make(map[int]bool)
+	for _, e := range edges.Collect() {
+		vertices[e.Key] = true
+		vertices[e.Value] = true
+	}
+
+	ranks := make(map[int]float64, len(vertices))
+	for v := range vertices {
+		ranks[v] = 1.0
+	}
+
+	for it := 0; it < iterations; it++ {
+		// Contributions via flatMap over the link partitions.
+		contribs := FlatMap(links, func(kv Pair[int, []int]) []Pair[int, float64] {
+			r := ranks[kv.Key]
+			share := r / float64(len(kv.Value))
+			metrics.IncArray()
+			out := make([]Pair[int, float64], len(kv.Value))
+			for i, dst := range kv.Value {
+				out[i] = KV(dst, share)
+			}
+			return out
+		})
+		summed := CollectAsMap(ReduceByKey(contribs, 0, func(a, b float64) float64 { return a + b }))
+		for v := range vertices {
+			ranks[v] = (1 - damping) + damping*summed[v]
+		}
+	}
+	return ranks
+}

@@ -1,0 +1,437 @@
+package rdd
+
+import (
+	"errors"
+	"math"
+
+	"renaissance/internal/metrics"
+)
+
+// This file implements the machine-learning kernels that Spark MLlib
+// provides to the paper's benchmarks: logistic regression, multinomial
+// naive Bayes, chi-square testing, decision trees, alternating least
+// squares, and PageRank. Each kernel is expressed with the RDD operations
+// above, so the data-parallel execution (partition tasks, shuffles,
+// tree-aggregation) matches the benchmarks' concurrency profile.
+
+// LabeledPoint is a feature vector with a class label.
+type LabeledPoint struct {
+	Features []float64
+	Label    int
+}
+
+// ErrBadInput is returned when a kernel receives inconsistent data.
+var ErrBadInput = errors.New("rdd: inconsistent training data")
+
+// sigmoid is the logistic link function.
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// LogisticRegression fits binary logistic regression (labels 0/1) with
+// batch gradient descent, computing each gradient with a parallel
+// tree-aggregate over the points — the log-regression benchmark kernel.
+func LogisticRegression(points *RDD[LabeledPoint], iterations int, learningRate float64) ([]float64, error) {
+	first := points.Collect()
+	if len(first) == 0 {
+		return nil, ErrEmpty
+	}
+	dim := len(first[0].Features)
+	points.Cache()
+
+	weights := make([]float64, dim)
+	n := float64(len(first))
+	for it := 0; it < iterations; it++ {
+		w := weights
+		grad := Aggregate(points,
+			func() []float64 { metrics.IncArray(); return make([]float64, dim) },
+			func(acc []float64, p LabeledPoint) []float64 {
+				if len(p.Features) != dim {
+					return acc
+				}
+				z := 0.0
+				for j, x := range p.Features {
+					z += w[j] * x
+				}
+				err := sigmoid(z) - float64(p.Label)
+				for j, x := range p.Features {
+					acc[j] += err * x
+				}
+				return acc
+			},
+			func(a, b []float64) []float64 {
+				for j := range a {
+					a[j] += b[j]
+				}
+				return a
+			})
+		for j := range weights {
+			weights[j] -= learningRate * grad[j] / n
+		}
+	}
+	return weights, nil
+}
+
+// PredictLogistic returns the probability of class 1 for the features.
+func PredictLogistic(weights, features []float64) float64 {
+	z := 0.0
+	for j, x := range features {
+		z += weights[j] * x
+	}
+	return sigmoid(z)
+}
+
+// NaiveBayesModel is a fitted multinomial naive Bayes classifier.
+type NaiveBayesModel struct {
+	ClassLogPrior []float64   // log P(class)
+	FeatureLogPr  [][]float64 // [class][feature] log P(feature|class)
+}
+
+// NaiveBayes fits a multinomial model with Laplace smoothing over
+// non-negative feature counts — the naive-bayes benchmark kernel.
+func NaiveBayes(points *RDD[LabeledPoint], numClasses, numFeatures int) (*NaiveBayesModel, error) {
+	type acc struct {
+		classCounts   []float64
+		featureTotals [][]float64
+	}
+	zero := func() *acc {
+		metrics.IncObject()
+		a := &acc{
+			classCounts:   make([]float64, numClasses),
+			featureTotals: make([][]float64, numClasses),
+		}
+		for c := range a.featureTotals {
+			a.featureTotals[c] = make([]float64, numFeatures)
+		}
+		return a
+	}
+	res := Aggregate(points, zero,
+		func(a *acc, p LabeledPoint) *acc {
+			if p.Label < 0 || p.Label >= numClasses || len(p.Features) != numFeatures {
+				return a
+			}
+			a.classCounts[p.Label]++
+			for j, x := range p.Features {
+				a.featureTotals[p.Label][j] += x
+			}
+			return a
+		},
+		func(a, b *acc) *acc {
+			for c := range a.classCounts {
+				a.classCounts[c] += b.classCounts[c]
+				for j := range a.featureTotals[c] {
+					a.featureTotals[c][j] += b.featureTotals[c][j]
+				}
+			}
+			return a
+		})
+
+	total := 0.0
+	for _, c := range res.classCounts {
+		total += c
+	}
+	if total == 0 {
+		return nil, ErrEmpty
+	}
+	m := &NaiveBayesModel{
+		ClassLogPrior: make([]float64, numClasses),
+		FeatureLogPr:  make([][]float64, numClasses),
+	}
+	for c := 0; c < numClasses; c++ {
+		m.ClassLogPrior[c] = math.Log((res.classCounts[c] + 1) / (total + float64(numClasses)))
+		m.FeatureLogPr[c] = make([]float64, numFeatures)
+		rowSum := 0.0
+		for _, v := range res.featureTotals[c] {
+			rowSum += v
+		}
+		for j, v := range res.featureTotals[c] {
+			m.FeatureLogPr[c][j] = math.Log((v + 1) / (rowSum + float64(numFeatures)))
+		}
+	}
+	return m, nil
+}
+
+// Predict returns the most likely class for the feature counts.
+func (m *NaiveBayesModel) Predict(features []float64) int {
+	best, bestScore := 0, math.Inf(-1)
+	for c := range m.ClassLogPrior {
+		score := m.ClassLogPrior[c]
+		for j, x := range features {
+			score += x * m.FeatureLogPr[c][j]
+		}
+		if score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best
+}
+
+// ChiSquare computes the chi-square independence statistic of every
+// feature against the label over discretized features (values are bucketed
+// by floor) — the chi-square benchmark kernel. It returns one statistic
+// per feature.
+func ChiSquare(points *RDD[LabeledPoint], numClasses, numFeatures, numBuckets int) []float64 {
+	// Contingency tables: [feature][bucket][class] counts.
+	type tables [][][]float64
+	zero := func() tables {
+		metrics.IncObject()
+		t := make(tables, numFeatures)
+		for f := range t {
+			t[f] = make([][]float64, numBuckets)
+			for b := range t[f] {
+				t[f][b] = make([]float64, numClasses)
+			}
+		}
+		return t
+	}
+	res := Aggregate(points, zero,
+		func(t tables, p LabeledPoint) tables {
+			if p.Label < 0 || p.Label >= numClasses {
+				return t
+			}
+			for f := 0; f < numFeatures && f < len(p.Features); f++ {
+				b := int(p.Features[f])
+				if b < 0 {
+					b = 0
+				}
+				if b >= numBuckets {
+					b = numBuckets - 1
+				}
+				t[f][b][p.Label]++
+			}
+			return t
+		},
+		func(a, b tables) tables {
+			for f := range a {
+				for bk := range a[f] {
+					for c := range a[f][bk] {
+						a[f][bk][c] += b[f][bk][c]
+					}
+				}
+			}
+			return a
+		})
+
+	stats := make([]float64, numFeatures)
+	for f := 0; f < numFeatures; f++ {
+		rowTotals := make([]float64, numBuckets)
+		colTotals := make([]float64, numClasses)
+		grand := 0.0
+		for b := 0; b < numBuckets; b++ {
+			for c := 0; c < numClasses; c++ {
+				v := res[f][b][c]
+				rowTotals[b] += v
+				colTotals[c] += v
+				grand += v
+			}
+		}
+		if grand == 0 {
+			continue
+		}
+		chi := 0.0
+		for b := 0; b < numBuckets; b++ {
+			for c := 0; c < numClasses; c++ {
+				expected := rowTotals[b] * colTotals[c] / grand
+				if expected > 0 {
+					d := res[f][b][c] - expected
+					chi += d * d / expected
+				}
+			}
+		}
+		stats[f] = chi
+	}
+	return stats
+}
+
+// TreeNode is a node of a fitted classification decision tree.
+type TreeNode struct {
+	Feature     int
+	Threshold   float64
+	Left, Right *TreeNode
+	Prediction  int // leaf prediction when Left == nil
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *TreeNode) IsLeaf() bool { return n.Left == nil }
+
+// Predict classifies features by walking the tree.
+func (n *TreeNode) Predict(features []float64) int {
+	for !n.IsLeaf() {
+		if features[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Prediction
+}
+
+// Depth returns the tree height (a single leaf has depth 1).
+func (n *TreeNode) Depth() int {
+	if n.IsLeaf() {
+		return 1
+	}
+	l, r := n.Left.Depth(), n.Right.Depth()
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// DecisionTree fits a CART-style classification tree: at every node the
+// Gini-best (feature, threshold) split is selected from per-feature
+// histograms computed with a parallel aggregate over the node's points —
+// the dec-tree benchmark kernel.
+func DecisionTree(points *RDD[LabeledPoint], numClasses, maxDepth, minLeaf int) (*TreeNode, error) {
+	data := points.Collect()
+	if len(data) == 0 {
+		return nil, ErrEmpty
+	}
+	if minLeaf < 1 {
+		minLeaf = 1
+	}
+	return growTree(data, numClasses, maxDepth, minLeaf), nil
+}
+
+const treeHistogramBins = 16
+
+func growTree(data []LabeledPoint, numClasses, depth, minLeaf int) *TreeNode {
+	counts := make([]int, numClasses)
+	for _, p := range data {
+		if p.Label >= 0 && p.Label < numClasses {
+			counts[p.Label]++
+		}
+	}
+	majority, best := 0, -1
+	pure := true
+	for c, n := range counts {
+		if n > best {
+			majority, best = c, n
+		}
+		if n != 0 && n != len(data) {
+			pure = false
+		}
+	}
+	if depth <= 1 || pure || len(data) < 2*minLeaf {
+		metrics.IncObject()
+		return &TreeNode{Prediction: majority}
+	}
+
+	numFeatures := len(data[0].Features)
+	bestGini := math.Inf(1)
+	bestFeature, bestThreshold := -1, 0.0
+
+	// Histogram split search per feature, computed in parallel over
+	// feature chunks (the data-parallel inner loop of MLlib's tree
+	// trainer).
+	type split struct {
+		gini      float64
+		feature   int
+		threshold float64
+	}
+	featureIdx := make([]int, numFeatures)
+	for i := range featureIdx {
+		featureIdx[i] = i
+	}
+	results := parMapSlice(featureIdx, func(f int) split {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range data {
+			v := p.Features[f]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi <= lo {
+			return split{gini: math.Inf(1)}
+		}
+		// Class histogram per bin.
+		var hist [treeHistogramBins][]int
+		for b := range hist {
+			hist[b] = make([]int, numClasses)
+		}
+		binWidth := (hi - lo) / treeHistogramBins
+		for _, p := range data {
+			b := int((p.Features[f] - lo) / binWidth)
+			if b >= treeHistogramBins {
+				b = treeHistogramBins - 1
+			}
+			hist[b][p.Label]++
+		}
+		bestLocal := split{gini: math.Inf(1)}
+		leftCounts := make([]int, numClasses)
+		leftN := 0
+		total := len(data)
+		for b := 0; b < treeHistogramBins-1; b++ {
+			for c, n := range hist[b] {
+				leftCounts[c] += n
+				leftN += n
+			}
+			rightN := total - leftN
+			if leftN == 0 || rightN == 0 {
+				continue
+			}
+			gl, gr := 1.0, 1.0
+			for c := 0; c < numClasses; c++ {
+				pl := float64(leftCounts[c]) / float64(leftN)
+				pr := float64(counts[c]-leftCounts[c]) / float64(rightN)
+				gl -= pl * pl
+				gr -= pr * pr
+			}
+			weighted := (float64(leftN)*gl + float64(rightN)*gr) / float64(total)
+			if weighted < bestLocal.gini {
+				bestLocal = split{weighted, f, lo + binWidth*float64(b+1)}
+			}
+		}
+		return bestLocal
+	})
+	for _, s := range results {
+		if s.gini < bestGini {
+			bestGini, bestFeature, bestThreshold = s.gini, s.feature, s.threshold
+		}
+	}
+	if bestFeature < 0 {
+		metrics.IncObject()
+		return &TreeNode{Prediction: majority}
+	}
+
+	metrics.IncArray()
+	var left, right []LabeledPoint
+	for _, p := range data {
+		if p.Features[bestFeature] <= bestThreshold {
+			left = append(left, p)
+		} else {
+			right = append(right, p)
+		}
+	}
+	if len(left) < minLeaf || len(right) < minLeaf {
+		metrics.IncObject()
+		return &TreeNode{Prediction: majority}
+	}
+	metrics.IncObject()
+	return &TreeNode{
+		Feature:   bestFeature,
+		Threshold: bestThreshold,
+		Left:      growTree(left, numClasses, depth-1, minLeaf),
+		Right:     growTree(right, numClasses, depth-1, minLeaf),
+	}
+}
+
+// parMapSlice evaluates fn over xs with one goroutine per element (element
+// counts here are small: features, users).
+func parMapSlice[T any, U any](xs []T, fn func(T) U) []U {
+	out := make([]U, len(xs))
+	done := make(chan int, len(xs))
+	for i := range xs {
+		go func(i int) {
+			metrics.IncIDynamic()
+			out[i] = fn(xs[i])
+			done <- i
+		}(i)
+	}
+	for range xs {
+		metrics.IncPark()
+		<-done
+	}
+	return out
+}

@@ -1,0 +1,439 @@
+// Package rdd implements an in-process data-parallel engine in the style
+// of Apache Spark (Zaharia et al., HotCloud 2010): resilient datasets are
+// split into partitions, narrow transformations (map, filter) compose
+// lazily per partition, wide transformations (reduceByKey, join) insert a
+// hash shuffle, and actions evaluate partitions in parallel. It is the
+// substrate of the paper's Spark-based benchmarks — als, chi-square,
+// dec-tree, log-regression, movie-lens, naive-bayes, and page-rank
+// (Table 1: "data-parallel, machine learning / compute-bound / atomics").
+package rdd
+
+import (
+	"errors"
+	"sync"
+
+	"renaissance/internal/metrics"
+)
+
+// ErrEmpty is returned by Reduce on an empty dataset.
+var ErrEmpty = errors.New("rdd: empty dataset")
+
+// RDD is a partitioned, lazily evaluated dataset of T.
+type RDD[T any] struct {
+	numPartitions int
+	compute       func(part int) []T
+
+	cacheOnce []sync.Once
+	cached    [][]T
+}
+
+// Parallelize splits data into the given number of partitions (0 means 8).
+func Parallelize[T any](data []T, partitions int) *RDD[T] {
+	if partitions <= 0 {
+		partitions = 8
+	}
+	if partitions > len(data) && len(data) > 0 {
+		partitions = len(data)
+	}
+	if len(data) == 0 {
+		partitions = 1
+	}
+	metrics.IncObject()
+	n := len(data)
+	return &RDD[T]{
+		numPartitions: partitions,
+		compute: func(p int) []T {
+			lo := p * n / partitions
+			hi := (p + 1) * n / partitions
+			return data[lo:hi]
+		},
+	}
+}
+
+// NumPartitions returns the partition count.
+func (r *RDD[T]) NumPartitions() int { return r.numPartitions }
+
+// Cache memoizes partition contents: each partition is computed at most
+// once across all downstream actions.
+func (r *RDD[T]) Cache() *RDD[T] {
+	if r.cacheOnce != nil {
+		return r
+	}
+	r.cacheOnce = make([]sync.Once, r.numPartitions)
+	r.cached = make([][]T, r.numPartitions)
+	inner := r.compute
+	r.compute = func(p int) []T {
+		r.cacheOnce[p].Do(func() {
+			r.cached[p] = inner(p)
+		})
+		return r.cached[p]
+	}
+	return r
+}
+
+// partition evaluates one partition.
+func (r *RDD[T]) partition(p int) []T {
+	metrics.IncMethod()
+	return r.compute(p)
+}
+
+// collectPartitions evaluates every partition concurrently, one goroutine
+// per partition (Spark task granularity).
+func collectPartitions[T any](r *RDD[T]) [][]T {
+	metrics.IncArray()
+	out := make([][]T, r.numPartitions)
+	var wg sync.WaitGroup
+	for p := 0; p < r.numPartitions; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			out[p] = r.partition(p)
+		}(p)
+	}
+	metrics.IncPark()
+	wg.Wait()
+	return out
+}
+
+// Map applies fn to every element (narrow dependency).
+func Map[T, U any](r *RDD[T], fn func(T) U) *RDD[U] {
+	metrics.IncObject()
+	return &RDD[U]{
+		numPartitions: r.numPartitions,
+		compute: func(p int) []U {
+			in := r.partition(p)
+			metrics.IncArray()
+			out := make([]U, len(in))
+			for i, x := range in {
+				metrics.IncIDynamic()
+				out[i] = fn(x)
+			}
+			return out
+		},
+	}
+}
+
+// Filter keeps the elements satisfying pred (narrow dependency).
+func (r *RDD[T]) Filter(pred func(T) bool) *RDD[T] {
+	metrics.IncObject()
+	return &RDD[T]{
+		numPartitions: r.numPartitions,
+		compute: func(p int) []T {
+			in := r.partition(p)
+			metrics.IncArray()
+			out := make([]T, 0, len(in))
+			for _, x := range in {
+				metrics.IncIDynamic()
+				if pred(x) {
+					out = append(out, x)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// FlatMap maps each element to zero or more outputs (narrow dependency).
+func FlatMap[T, U any](r *RDD[T], fn func(T) []U) *RDD[U] {
+	metrics.IncObject()
+	return &RDD[U]{
+		numPartitions: r.numPartitions,
+		compute: func(p int) []U {
+			in := r.partition(p)
+			metrics.IncArray()
+			var out []U
+			for _, x := range in {
+				metrics.IncIDynamic()
+				out = append(out, fn(x)...)
+			}
+			return out
+		},
+	}
+}
+
+// MapPartitions transforms whole partitions at once.
+func MapPartitions[T, U any](r *RDD[T], fn func([]T) []U) *RDD[U] {
+	metrics.IncObject()
+	return &RDD[U]{
+		numPartitions: r.numPartitions,
+		compute: func(p int) []U {
+			metrics.IncIDynamic()
+			return fn(r.partition(p))
+		},
+	}
+}
+
+// Collect evaluates the dataset and returns all elements.
+func (r *RDD[T]) Collect() []T {
+	parts := collectPartitions(r)
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	metrics.IncArray()
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Count returns the number of elements.
+func (r *RDD[T]) Count() int {
+	parts := collectPartitions(r)
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	return n
+}
+
+// Reduce folds all elements with fn; partitions are folded in parallel and
+// partial results combined.
+func (r *RDD[T]) Reduce(fn func(T, T) T) (T, error) {
+	parts := collectPartitions(r)
+	var acc T
+	have := false
+	for _, part := range parts {
+		for _, x := range part {
+			if !have {
+				acc, have = x, true
+				continue
+			}
+			metrics.IncIDynamic()
+			acc = fn(acc, x)
+		}
+	}
+	if !have {
+		return acc, ErrEmpty
+	}
+	return acc, nil
+}
+
+// Aggregate folds each partition from zero() with seqOp, then merges the
+// per-partition accumulators with combOp (Spark's treeAggregate shape,
+// flattened).
+func Aggregate[T, A any](r *RDD[T], zero func() A, seqOp func(A, T) A, combOp func(A, A) A) A {
+	partials := make([]A, r.numPartitions)
+	var wg sync.WaitGroup
+	for p := 0; p < r.numPartitions; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			metrics.IncIDynamic()
+			acc := zero()
+			for _, x := range r.partition(p) {
+				metrics.IncIDynamic()
+				acc = seqOp(acc, x)
+			}
+			partials[p] = acc
+		}(p)
+	}
+	metrics.IncPark()
+	wg.Wait()
+	metrics.IncIDynamic()
+	acc := zero()
+	for _, p := range partials {
+		metrics.IncIDynamic()
+		acc = combOp(acc, p)
+	}
+	return acc
+}
+
+// Pair is a key-value record for pair-RDD operations.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// KV constructs a Pair.
+func KV[K comparable, V any](k K, v V) Pair[K, V] { return Pair[K, V]{k, v} }
+
+// hashKey produces the shuffle bucket of a key.
+func hashKey[K comparable](k K, buckets int) int {
+	// FNV-style hash over the key's string formatting would allocate;
+	// instead use a map-free scheme via Go's built-in map hashing proxy:
+	// format-free switch on common key kinds.
+	var h uint64 = 14695981039346656037
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	switch v := any(k).(type) {
+	case int:
+		for i := 0; i < 8; i++ {
+			mix(byte(uint64(v) >> (8 * i)))
+		}
+	case int32:
+		for i := 0; i < 4; i++ {
+			mix(byte(uint32(v) >> (8 * i)))
+		}
+	case int64:
+		for i := 0; i < 8; i++ {
+			mix(byte(uint64(v) >> (8 * i)))
+		}
+	case string:
+		for i := 0; i < len(v); i++ {
+			mix(v[i])
+		}
+	default:
+		// Fallback: distribute via a per-key map (rare in this codebase).
+		mix(0x9e)
+	}
+	return int(h % uint64(buckets))
+}
+
+// shuffle hash-partitions the parent's pairs into numPartitions buckets.
+// Each parent partition is processed by its own goroutine; bucket appends
+// are guarded by per-bucket locks, which is where data-parallel frameworks
+// spend their synchronization (the paper's page-rank "atomics" focus).
+func shuffle[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) [][]Pair[K, V] {
+	if numPartitions <= 0 {
+		numPartitions = r.numPartitions
+	}
+	buckets := make([][]Pair[K, V], numPartitions)
+	locks := make([]sync.Mutex, numPartitions)
+	var wg sync.WaitGroup
+	for p := 0; p < r.numPartitions; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			// Stage pairs locally per bucket to shorten critical sections.
+			metrics.IncArray()
+			local := make([][]Pair[K, V], numPartitions)
+			for _, kv := range r.partition(p) {
+				b := hashKey(kv.Key, numPartitions)
+				local[b] = append(local[b], kv)
+			}
+			for b, pairs := range local {
+				if len(pairs) == 0 {
+					continue
+				}
+				locks[b].Lock()
+				metrics.IncSynch()
+				buckets[b] = append(buckets[b], pairs...)
+				locks[b].Unlock()
+			}
+		}(p)
+	}
+	metrics.IncPark()
+	wg.Wait()
+	return buckets
+}
+
+// ReduceByKey merges the values of each key with fn, shuffling into
+// numPartitions output partitions (0 keeps the parent's count).
+func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int, fn func(V, V) V) *RDD[Pair[K, V]] {
+	metrics.IncObject()
+	if numPartitions <= 0 {
+		numPartitions = r.numPartitions
+	}
+	var once sync.Once
+	var buckets [][]Pair[K, V]
+	return &RDD[Pair[K, V]]{
+		numPartitions: numPartitions,
+		compute: func(p int) []Pair[K, V] {
+			once.Do(func() { buckets = shuffle(r, numPartitions) })
+			metrics.IncObject()
+			agg := make(map[K]V)
+			for _, kv := range buckets[p] {
+				if old, ok := agg[kv.Key]; ok {
+					metrics.IncIDynamic()
+					agg[kv.Key] = fn(old, kv.Value)
+				} else {
+					agg[kv.Key] = kv.Value
+				}
+			}
+			metrics.IncArray()
+			out := make([]Pair[K, V], 0, len(agg))
+			for k, v := range agg {
+				out = append(out, Pair[K, V]{k, v})
+			}
+			return out
+		},
+	}
+}
+
+// GroupByKey gathers all values of each key.
+func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RDD[Pair[K, []V]] {
+	metrics.IncObject()
+	if numPartitions <= 0 {
+		numPartitions = r.numPartitions
+	}
+	var once sync.Once
+	var buckets [][]Pair[K, V]
+	return &RDD[Pair[K, []V]]{
+		numPartitions: numPartitions,
+		compute: func(p int) []Pair[K, []V] {
+			once.Do(func() { buckets = shuffle(r, numPartitions) })
+			metrics.IncObject()
+			agg := make(map[K][]V)
+			for _, kv := range buckets[p] {
+				agg[kv.Key] = append(agg[kv.Key], kv.Value)
+			}
+			metrics.IncArray()
+			out := make([]Pair[K, []V], 0, len(agg))
+			for k, vs := range agg {
+				out = append(out, Pair[K, []V]{k, vs})
+			}
+			return out
+		},
+	}
+}
+
+// MapValues transforms pair values, preserving keys and partitioning.
+func MapValues[K comparable, V, W any](r *RDD[Pair[K, V]], fn func(V) W) *RDD[Pair[K, W]] {
+	return Map(r, func(kv Pair[K, V]) Pair[K, W] {
+		return Pair[K, W]{kv.Key, fn(kv.Value)}
+	})
+}
+
+// Join inner-joins two pair datasets on their keys.
+func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], numPartitions int) *RDD[Pair[K, struct {
+	Left  V
+	Right W
+}]] {
+	type joined = struct {
+		Left  V
+		Right W
+	}
+	metrics.IncObject()
+	if numPartitions <= 0 {
+		numPartitions = a.numPartitions
+	}
+	var once sync.Once
+	var leftBuckets [][]Pair[K, V]
+	var rightBuckets [][]Pair[K, W]
+	return &RDD[Pair[K, joined]]{
+		numPartitions: numPartitions,
+		compute: func(p int) []Pair[K, joined] {
+			once.Do(func() {
+				leftBuckets = shuffle(a, numPartitions)
+				rightBuckets = shuffle(b, numPartitions)
+			})
+			metrics.IncObject()
+			left := make(map[K][]V)
+			for _, kv := range leftBuckets[p] {
+				left[kv.Key] = append(left[kv.Key], kv.Value)
+			}
+			metrics.IncArray()
+			var out []Pair[K, joined]
+			for _, kw := range rightBuckets[p] {
+				for _, v := range left[kw.Key] {
+					out = append(out, Pair[K, joined]{kw.Key, joined{v, kw.Value}})
+				}
+			}
+			return out
+		},
+	}
+}
+
+// CollectAsMap evaluates a pair dataset into a map (later keys overwrite).
+func CollectAsMap[K comparable, V any](r *RDD[Pair[K, V]]) map[K]V {
+	metrics.IncObject()
+	out := make(map[K]V)
+	for _, kv := range r.Collect() {
+		out[kv.Key] = kv.Value
+	}
+	return out
+}

@@ -1,0 +1,455 @@
+package rdd
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func ints(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	return xs
+}
+
+func TestParallelizeCollect(t *testing.T) {
+	r := Parallelize(ints(100), 8)
+	if r.NumPartitions() != 8 {
+		t.Errorf("partitions = %d", r.NumPartitions())
+	}
+	got := r.Collect()
+	if !reflect.DeepEqual(got, ints(100)) {
+		t.Errorf("Collect mismatch")
+	}
+	if r.Count() != 100 {
+		t.Errorf("Count = %d", r.Count())
+	}
+}
+
+func TestParallelizeEdgeCases(t *testing.T) {
+	empty := Parallelize([]int{}, 4)
+	if empty.Count() != 0 {
+		t.Errorf("empty count = %d", empty.Count())
+	}
+	small := Parallelize([]int{1, 2}, 16)
+	if small.NumPartitions() > 2 {
+		t.Errorf("small dataset got %d partitions", small.NumPartitions())
+	}
+	if got := small.Collect(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("small Collect = %v", got)
+	}
+	defaulted := Parallelize(ints(100), 0)
+	if defaulted.NumPartitions() != 8 {
+		t.Errorf("default partitions = %d", defaulted.NumPartitions())
+	}
+}
+
+func TestMapFilterFlatMap(t *testing.T) {
+	r := Parallelize(ints(10), 3)
+	doubled := Map(r, func(x int) int { return x * 2 }).Collect()
+	for i, v := range doubled {
+		if v != i*2 {
+			t.Fatalf("Map[%d] = %d", i, v)
+		}
+	}
+	evens := r.Filter(func(x int) bool { return x%2 == 0 }).Count()
+	if evens != 5 {
+		t.Errorf("evens = %d", evens)
+	}
+	fm := FlatMap(r, func(x int) []int { return []int{x, x} }).Count()
+	if fm != 20 {
+		t.Errorf("FlatMap count = %d", fm)
+	}
+}
+
+func TestMapPartitions(t *testing.T) {
+	r := Parallelize(ints(10), 2)
+	sums := MapPartitions(r, func(part []int) []int {
+		s := 0
+		for _, v := range part {
+			s += v
+		}
+		return []int{s}
+	}).Collect()
+	total := 0
+	for _, s := range sums {
+		total += s
+	}
+	if total != 45 {
+		t.Errorf("partition sums total = %d", total)
+	}
+	if len(sums) != 2 {
+		t.Errorf("partition sums = %v", sums)
+	}
+}
+
+func TestReduceAndAggregate(t *testing.T) {
+	r := Parallelize(ints(101), 7)
+	sum, err := r.Reduce(func(a, b int) int { return a + b })
+	if err != nil || sum != 5050 {
+		t.Errorf("Reduce = (%d, %v)", sum, err)
+	}
+	if _, err := Parallelize([]int{}, 1).Reduce(func(a, b int) int { return a + b }); err == nil {
+		t.Error("Reduce of empty should error")
+	}
+	agg := Aggregate(r,
+		func() int { return 0 },
+		func(a, x int) int { return a + x },
+		func(a, b int) int { return a + b })
+	if agg != 5050 {
+		t.Errorf("Aggregate = %d", agg)
+	}
+}
+
+func TestCacheComputesOnce(t *testing.T) {
+	var computations atomic.Int64
+	base := Parallelize(ints(10), 2)
+	counted := Map(base, func(x int) int {
+		computations.Add(1)
+		return x
+	}).Cache()
+	_ = counted.Collect()
+	first := computations.Load()
+	_ = counted.Collect()
+	_ = counted.Count()
+	if computations.Load() != first {
+		t.Errorf("cached RDD recomputed: %d -> %d", first, computations.Load())
+	}
+	if first != 10 {
+		t.Errorf("first pass computed %d elements", first)
+	}
+}
+
+func TestReduceByKey(t *testing.T) {
+	words := []string{"a", "b", "a", "c", "b", "a"}
+	pairs := Map(Parallelize(words, 3), func(w string) Pair[string, int] { return KV(w, 1) })
+	counts := CollectAsMap(ReduceByKey(pairs, 4, func(a, b int) int { return a + b }))
+	want := map[string]int{"a": 3, "b": 2, "c": 1}
+	if !reflect.DeepEqual(counts, want) {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	pairs := Parallelize([]Pair[int, string]{
+		KV(1, "x"), KV(2, "y"), KV(1, "z"),
+	}, 2)
+	groups := CollectAsMap(GroupByKey(pairs, 3))
+	if len(groups[1]) != 2 || len(groups[2]) != 1 {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestMapValues(t *testing.T) {
+	pairs := Parallelize([]Pair[string, int]{KV("a", 1), KV("b", 2)}, 1)
+	got := CollectAsMap(MapValues(pairs, func(v int) int { return v * 10 }))
+	if got["a"] != 10 || got["b"] != 20 {
+		t.Errorf("MapValues = %v", got)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	left := Parallelize([]Pair[int, string]{KV(1, "l1"), KV(2, "l2"), KV(3, "l3")}, 2)
+	right := Parallelize([]Pair[int, int]{KV(1, 10), KV(2, 20), KV(2, 21), KV(4, 40)}, 2)
+	joined := Join(left, right, 3).Collect()
+	if len(joined) != 3 { // keys 1 (1 pair) and 2 (2 pairs)
+		t.Fatalf("join size = %d: %v", len(joined), joined)
+	}
+	seen := map[int][]int{}
+	for _, j := range joined {
+		seen[j.Key] = append(seen[j.Key], j.Value.Right)
+	}
+	if len(seen[1]) != 1 || len(seen[2]) != 2 {
+		t.Errorf("join structure = %v", seen)
+	}
+}
+
+// Property: word count via ReduceByKey matches a sequential map count.
+func TestPropertyWordCount(t *testing.T) {
+	f := func(raw []uint8, parts uint8) bool {
+		words := make([]string, len(raw))
+		for i, b := range raw {
+			words[i] = string(rune('a' + int(b)%5))
+		}
+		p := int(parts%6) + 1
+		pairs := Map(Parallelize(words, p), func(w string) Pair[string, int] { return KV(w, 1) })
+		got := CollectAsMap(ReduceByKey(pairs, p, func(a, b int) int { return a + b }))
+		want := map[string]int{}
+		for _, w := range words {
+			want[w]++
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogisticRegressionSeparable(t *testing.T) {
+	// Linearly separable data: x > 0 => label 1.
+	rng := rand.New(rand.NewSource(1))
+	var points []LabeledPoint
+	for i := 0; i < 400; i++ {
+		x := rng.Float64()*2 - 1
+		label := 0
+		if x > 0 {
+			label = 1
+		}
+		points = append(points, LabeledPoint{Features: []float64{x, 1}, Label: label})
+	}
+	w, err := LogisticRegression(Parallelize(points, 4), 200, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, p := range points {
+		pred := 0
+		if PredictLogistic(w, p.Features) > 0.5 {
+			pred = 1
+		}
+		if pred == p.Label {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(points)); acc < 0.95 {
+		t.Errorf("accuracy = %.2f, want >= 0.95", acc)
+	}
+}
+
+func TestNaiveBayes(t *testing.T) {
+	// Class 0 heavy on feature 0, class 1 heavy on feature 1.
+	var points []LabeledPoint
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		label := i % 2
+		f := make([]float64, 2)
+		f[label] = float64(5 + rng.Intn(5))
+		f[1-label] = float64(rng.Intn(2))
+		points = append(points, LabeledPoint{Features: f, Label: label})
+	}
+	m, err := NaiveBayes(Parallelize(points, 4), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, p := range points {
+		if m.Predict(p.Features) == p.Label {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(points)); acc < 0.95 {
+		t.Errorf("accuracy = %.2f", acc)
+	}
+	if _, err := NaiveBayes(Parallelize([]LabeledPoint{}, 1), 2, 2); err == nil {
+		t.Error("empty NaiveBayes should error")
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	// Feature 0 is perfectly predictive; feature 1 is uniform noise.
+	var points []LabeledPoint
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 400; i++ {
+		label := i % 2
+		points = append(points, LabeledPoint{
+			Features: []float64{float64(label), float64(rng.Intn(2))},
+			Label:    label,
+		})
+	}
+	stats := ChiSquare(Parallelize(points, 4), 2, 2, 2)
+	if len(stats) != 2 {
+		t.Fatalf("stats = %v", stats)
+	}
+	if stats[0] <= stats[1] {
+		t.Errorf("predictive feature chi2 %.1f <= noise chi2 %.1f", stats[0], stats[1])
+	}
+	if stats[0] < 100 {
+		t.Errorf("predictive chi2 = %.1f, suspiciously small", stats[0])
+	}
+}
+
+func TestDecisionTree(t *testing.T) {
+	// XOR-ish 2D data solvable with depth-3 axis-aligned splits.
+	var points []LabeledPoint
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		label := 0
+		if (x > 0.5) != (y > 0.5) {
+			label = 1
+		}
+		points = append(points, LabeledPoint{Features: []float64{x, y}, Label: label})
+	}
+	tree, err := DecisionTree(Parallelize(points, 4), 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() < 2 {
+		t.Errorf("tree depth = %d, expected actual splits", tree.Depth())
+	}
+	correct := 0
+	for _, p := range points {
+		if tree.Predict(p.Features) == p.Label {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(points)); acc < 0.9 {
+		t.Errorf("accuracy = %.2f", acc)
+	}
+}
+
+func TestDecisionTreePureLeaf(t *testing.T) {
+	points := []LabeledPoint{
+		{Features: []float64{1}, Label: 1},
+		{Features: []float64{2}, Label: 1},
+	}
+	tree, err := DecisionTree(Parallelize(points, 1), 2, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.IsLeaf() || tree.Prediction != 1 {
+		t.Errorf("pure data should give a leaf predicting 1; got %+v", tree)
+	}
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, ok := SolveLinearSystem(a, b)
+	if !ok {
+		t.Fatal("singular?")
+	}
+	// 2x + y = 5; x + 3y = 10 => x = 1, y = 3.
+	if len(x) != 2 || abs(x[0]-1) > 1e-9 || abs(x[1]-3) > 1e-9 {
+		t.Errorf("solution = %v", x)
+	}
+	// Singular system.
+	if _, ok := SolveLinearSystem([][]float64{{1, 1}, {2, 2}}, []float64{1, 2}); ok {
+		t.Error("singular system solved")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestALSReconstructsRatings(t *testing.T) {
+	// Generate ratings from a true low-rank model and check ALS recovers
+	// low RMSE.
+	rng := rand.New(rand.NewSource(5))
+	const users, items, rank = 20, 15, 3
+	trueU := make([][]float64, users)
+	trueI := make([][]float64, items)
+	for u := range trueU {
+		trueU[u] = randomVector(rng, rank)
+	}
+	for i := range trueI {
+		trueI[i] = randomVector(rng, rank)
+	}
+	var ratings []Rating
+	for u := 0; u < users; u++ {
+		for i := 0; i < items; i++ {
+			if rng.Float64() < 0.6 {
+				dot := 0.0
+				for k := 0; k < rank; k++ {
+					dot += trueU[u][k] * trueI[i][k]
+				}
+				ratings = append(ratings, Rating{u, i, dot})
+			}
+		}
+	}
+	model, err := ALS(Parallelize(ratings, 4), rank, 12, 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse := model.RMSE(ratings); rmse > 0.1 {
+		t.Errorf("RMSE = %.4f, want <= 0.1", rmse)
+	}
+	if _, err := ALS(Parallelize([]Rating{}, 1), 2, 1, 0.1, 1); err == nil {
+		t.Error("empty ALS should error")
+	}
+}
+
+func TestALSRecommend(t *testing.T) {
+	ratings := []Rating{
+		{0, 0, 5}, {0, 1, 5}, {1, 0, 5}, {1, 1, 5}, {1, 2, 5}, {2, 2, 1},
+	}
+	model, err := ALS(Parallelize(ratings, 2), 2, 10, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := model.Recommend(0, map[int]bool{0: true, 1: true}, 5)
+	if len(recs) != 1 || recs[0] != 2 {
+		t.Errorf("recs = %v, want [2]", recs)
+	}
+}
+
+func TestPageRank(t *testing.T) {
+	// Star graph: everyone links to vertex 0, which links to 1.
+	edges := []Pair[int, int]{
+		KV(1, 0), KV(2, 0), KV(3, 0), KV(4, 0), KV(0, 1),
+	}
+	ranks := PageRank(Parallelize(edges, 2), 20, 0.85)
+	if len(ranks) != 5 {
+		t.Fatalf("ranks = %v", ranks)
+	}
+	if ranks[0] <= ranks[2] || ranks[0] <= ranks[3] {
+		t.Errorf("hub rank %0.3f not dominant: %v", ranks[0], ranks)
+	}
+	if ranks[1] <= ranks[2] {
+		t.Errorf("vertex 1 (linked by hub) should outrank leaves: %v", ranks)
+	}
+}
+
+func TestPageRankSumConservation(t *testing.T) {
+	// On a graph where every vertex has out-links, total rank stays near N.
+	var edges []Pair[int, int]
+	const n = 10
+	for i := 0; i < n; i++ {
+		edges = append(edges, KV(i, (i+1)%n), KV(i, (i+3)%n))
+	}
+	ranks := PageRank(Parallelize(edges, 3), 30, 0.85)
+	total := 0.0
+	for _, r := range ranks {
+		total += r
+	}
+	if abs(total-float64(n)) > 0.01 {
+		t.Errorf("total rank = %.4f, want ~%d", total, n)
+	}
+}
+
+func TestHashKeyDistribution(t *testing.T) {
+	buckets := make([]int, 8)
+	for i := 0; i < 8000; i++ {
+		buckets[hashKey(i, 8)]++
+	}
+	for b, n := range buckets {
+		if n < 500 || n > 1500 {
+			t.Errorf("bucket %d has %d of 8000 keys; poor distribution", b, n)
+		}
+	}
+	// Strings and int64 hash without panic and deterministically.
+	if hashKey("hello", 16) != hashKey("hello", 16) {
+		t.Error("string hash not deterministic")
+	}
+	if hashKey(int64(42), 4) != hashKey(int64(42), 4) {
+		t.Error("int64 hash not deterministic")
+	}
+	sort.Ints(buckets)
+}

@@ -1,0 +1,589 @@
+package rvm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Interpreter errors (VM traps).
+var (
+	ErrNullPointer   = errors.New("rvm: null pointer")
+	ErrBounds        = errors.New("rvm: array index out of bounds")
+	ErrDivByZero     = errors.New("rvm: division by zero")
+	ErrNoSuchMethod  = errors.New("rvm: method not found")
+	ErrNoSuchField   = errors.New("rvm: field not found")
+	ErrNoSuchClass   = errors.New("rvm: class not found")
+	ErrBadCast       = errors.New("rvm: bad cast")
+	ErrStack         = errors.New("rvm: operand stack underflow")
+	ErrFuelExhausted = errors.New("rvm: execution fuel exhausted")
+	ErrBadMonitor    = errors.New("rvm: unbalanced monitor exit")
+	ErrNotInterface  = errors.New("rvm: receiver does not implement interface")
+)
+
+// Counters are the dynamic event counts of one execution, matching the
+// paper's Table 2 instrumentation categories.
+type Counters struct {
+	Executed int64 // total instructions
+	Synch    int64 // monitor enters
+	Wait     int64
+	Notify   int64
+	Atomic   int64 // CAS + atomic add + monitor lock-word operations
+	Park     int64
+	Object   int64
+	Array    int64
+	Method   int64 // virtual/interface/handle dispatches
+	IDynamic int64 // invokedynamic executions
+}
+
+// Interp executes bytecode with reference semantics. It is sequential: the
+// concurrency opcodes have their single-threaded semantics (a CAS on a
+// private object always succeeds, monitors recursion-count) and are fully
+// accounted in Counters; the cost model in rvm/ir charges their real
+// expense. This mirrors the paper's soundness arguments, which reason about
+// single-thread observable effects (§5).
+type Interp struct {
+	Program *Program
+	// Fuel bounds the number of executed instructions (0 = default 200M).
+	Fuel int64
+	// MaxDepth bounds the call stack (0 = 512).
+	MaxDepth int
+
+	Counters Counters
+	fuel     int64
+}
+
+// NewInterp creates an interpreter for the program.
+func NewInterp(p *Program) *Interp { return &Interp{Program: p} }
+
+// Run executes the program's entry method with the given arguments.
+func (vm *Interp) Run(args ...Value) (Value, error) {
+	if vm.Program.Entry == nil {
+		return Null(), errors.New("rvm: program has no entry method")
+	}
+	return vm.Call(vm.Program.Entry, args...)
+}
+
+// Call executes a method with the given arguments.
+func (vm *Interp) Call(m *Method, args ...Value) (Value, error) {
+	vm.fuel = vm.Fuel
+	if vm.fuel == 0 {
+		vm.fuel = 200_000_000
+	}
+	maxDepth := vm.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = 512
+	}
+	return vm.invoke(m, args, 0, maxDepth)
+}
+
+func (vm *Interp) invoke(m *Method, args []Value, depth, maxDepth int) (Value, error) {
+	if depth > maxDepth {
+		return Null(), fmt.Errorf("rvm: call depth exceeded in %s", m.QualifiedName())
+	}
+	if len(args) != m.NArgs {
+		return Null(), fmt.Errorf("rvm: %s expects %d args, got %d", m.QualifiedName(), m.NArgs, len(args))
+	}
+	locals := make([]Value, m.NLocals)
+	copy(locals, args)
+	var stack []Value
+
+	push := func(v Value) { stack = append(stack, v) }
+	pop := func() (Value, error) {
+		if len(stack) == 0 {
+			return Null(), fmt.Errorf("%w in %s", ErrStack, m.QualifiedName())
+		}
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v, nil
+	}
+	pop2 := func() (a, b Value, err error) {
+		b, err = pop()
+		if err != nil {
+			return
+		}
+		a, err = pop()
+		return
+	}
+
+	pc := 0
+	for pc >= 0 && pc < len(m.Code) {
+		vm.fuel--
+		if vm.fuel < 0 {
+			return Null(), ErrFuelExhausted
+		}
+		vm.Counters.Executed++
+		in := m.Code[pc]
+		next := pc + 1
+		switch in.Op {
+		case OpNop:
+
+		case OpConstInt:
+			push(Int(in.I))
+		case OpConstFloat:
+			push(Float(in.F))
+		case OpConstNull:
+			push(Null())
+		case OpLoad:
+			push(locals[in.A])
+		case OpStore:
+			v, err := pop()
+			if err != nil {
+				return Null(), err
+			}
+			locals[in.A] = v
+		case OpPop:
+			if _, err := pop(); err != nil {
+				return Null(), err
+			}
+		case OpDup:
+			if len(stack) == 0 {
+				return Null(), ErrStack
+			}
+			push(stack[len(stack)-1])
+
+		case OpAdd, OpSub, OpMul, OpDiv, OpRem:
+			a, b, err := pop2()
+			if err != nil {
+				return Null(), err
+			}
+			v, err := arith(in.Op, a, b)
+			if err != nil {
+				return Null(), err
+			}
+			push(v)
+		case OpNeg:
+			a, err := pop()
+			if err != nil {
+				return Null(), err
+			}
+			if a.Kind() == KindFloat {
+				push(Float(-a.AsFloat()))
+			} else {
+				push(Int(-a.AsInt()))
+			}
+
+		case OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE, OpCmpEQ, OpCmpNE:
+			a, b, err := pop2()
+			if err != nil {
+				return Null(), err
+			}
+			push(boolVal(compare(in.Op, a, b)))
+
+		case OpJump:
+			next = in.A
+		case OpJumpIf:
+			v, err := pop()
+			if err != nil {
+				return Null(), err
+			}
+			if v.Truthy() {
+				next = in.A
+			}
+		case OpJumpIfNot:
+			v, err := pop()
+			if err != nil {
+				return Null(), err
+			}
+			if !v.Truthy() {
+				next = in.A
+			}
+		case OpReturn:
+			return pop()
+		case OpReturnVoid:
+			return Null(), nil
+
+		case OpNew:
+			c, ok := vm.Program.Class(in.S)
+			if !ok {
+				return Null(), fmt.Errorf("%w: %s", ErrNoSuchClass, in.S)
+			}
+			vm.Counters.Object++
+			push(Ref(NewObject(c)))
+		case OpGetField:
+			o, err := pop()
+			if err != nil {
+				return Null(), err
+			}
+			obj := o.AsRef()
+			if obj == nil {
+				return Null(), fmt.Errorf("%w: getfield %s in %s", ErrNullPointer, in.S, m.QualifiedName())
+			}
+			idx, ok := obj.Class.FieldIndex(in.S)
+			if !ok {
+				return Null(), fmt.Errorf("%w: %s.%s", ErrNoSuchField, obj.Class.Name, in.S)
+			}
+			push(obj.Fields[idx])
+		case OpPutField:
+			o, v, err := pop2()
+			if err != nil {
+				return Null(), err
+			}
+			obj := o.AsRef()
+			if obj == nil {
+				return Null(), fmt.Errorf("%w: putfield %s", ErrNullPointer, in.S)
+			}
+			idx, ok := obj.Class.FieldIndex(in.S)
+			if !ok {
+				return Null(), fmt.Errorf("%w: %s.%s", ErrNoSuchField, obj.Class.Name, in.S)
+			}
+			obj.Fields[idx] = v
+		case OpNewArray:
+			n, err := pop()
+			if err != nil {
+				return Null(), err
+			}
+			ln := n.AsInt()
+			if ln < 0 {
+				return Null(), fmt.Errorf("rvm: negative array size %d", ln)
+			}
+			vm.Counters.Array++
+			push(Ref(NewArray(int(ln))))
+		case OpALoad:
+			arr, idx, err := pop2()
+			if err != nil {
+				return Null(), err
+			}
+			obj := arr.AsRef()
+			if obj == nil {
+				return Null(), fmt.Errorf("%w: aload", ErrNullPointer)
+			}
+			i := idx.AsInt()
+			if i < 0 || i >= int64(len(obj.Elems)) {
+				return Null(), fmt.Errorf("%w: %d of %d", ErrBounds, i, len(obj.Elems))
+			}
+			push(obj.Elems[i])
+		case OpAStore:
+			v, err := pop()
+			if err != nil {
+				return Null(), err
+			}
+			arr, idx, err := pop2()
+			if err != nil {
+				return Null(), err
+			}
+			obj := arr.AsRef()
+			if obj == nil {
+				return Null(), fmt.Errorf("%w: astore", ErrNullPointer)
+			}
+			i := idx.AsInt()
+			if i < 0 || i >= int64(len(obj.Elems)) {
+				return Null(), fmt.Errorf("%w: %d of %d", ErrBounds, i, len(obj.Elems))
+			}
+			obj.Elems[i] = v
+		case OpArrayLen:
+			arr, err := pop()
+			if err != nil {
+				return Null(), err
+			}
+			obj := arr.AsRef()
+			if obj == nil {
+				return Null(), fmt.Errorf("%w: arraylen", ErrNullPointer)
+			}
+			push(Int(int64(len(obj.Elems))))
+
+		case OpInvokeStatic:
+			callee, err := vm.resolveStatic(in.S)
+			if err != nil {
+				return Null(), err
+			}
+			args, err := popN(&stack, in.A)
+			if err != nil {
+				return Null(), err
+			}
+			ret, err := vm.invoke(callee, args, depth+1, maxDepth)
+			if err != nil {
+				return Null(), err
+			}
+			push(ret)
+		case OpInvokeVirtual, OpInvokeInterface:
+			args, err := popN(&stack, in.A)
+			if err != nil {
+				return Null(), err
+			}
+			if len(args) == 0 || args[0].AsRef() == nil {
+				return Null(), fmt.Errorf("%w: invoke %s", ErrNullPointer, in.S)
+			}
+			recv := args[0].AsRef()
+			callee, ok := recv.Class.ResolveMethod(in.S)
+			if !ok {
+				return Null(), fmt.Errorf("%w: %s.%s", ErrNoSuchMethod, recv.Class.Name, in.S)
+			}
+			vm.Counters.Method++
+			ret, err := vm.invoke(callee, args, depth+1, maxDepth)
+			if err != nil {
+				return Null(), err
+			}
+			push(ret)
+		case OpInvokeDynamic:
+			// Bootstrap: resolve the target once and push a method handle
+			// (the lambda-creation shape of JSR 292).
+			callee, err := vm.resolveStatic(in.S)
+			if err != nil {
+				return Null(), err
+			}
+			vm.Counters.IDynamic++
+			push(Handle(callee))
+		case OpInvokeHandle:
+			args, err := popN(&stack, in.A)
+			if err != nil {
+				return Null(), err
+			}
+			h, err := pop()
+			if err != nil {
+				return Null(), err
+			}
+			target := h.AsHandle()
+			if target == nil {
+				return Null(), fmt.Errorf("%w: invokehandle on %s", ErrNullPointer, h)
+			}
+			vm.Counters.Method++
+			ret, err := vm.invoke(target, args, depth+1, maxDepth)
+			if err != nil {
+				return Null(), err
+			}
+			push(ret)
+
+		case OpMonitorEnter:
+			o, err := pop()
+			if err != nil {
+				return Null(), err
+			}
+			obj := o.AsRef()
+			if obj == nil {
+				return Null(), fmt.Errorf("%w: monitorenter", ErrNullPointer)
+			}
+			obj.monitorDepth++
+			vm.Counters.Synch++
+			vm.Counters.Atomic++ // lock-word CAS
+		case OpMonitorExit:
+			o, err := pop()
+			if err != nil {
+				return Null(), err
+			}
+			obj := o.AsRef()
+			if obj == nil {
+				return Null(), fmt.Errorf("%w: monitorexit", ErrNullPointer)
+			}
+			if obj.monitorDepth <= 0 {
+				return Null(), ErrBadMonitor
+			}
+			obj.monitorDepth--
+			vm.Counters.Atomic++
+		case OpCAS:
+			nv, err := pop()
+			if err != nil {
+				return Null(), err
+			}
+			o, exp, err := pop2()
+			if err != nil {
+				return Null(), err
+			}
+			obj := o.AsRef()
+			if obj == nil {
+				return Null(), fmt.Errorf("%w: cas %s", ErrNullPointer, in.S)
+			}
+			idx, ok := obj.Class.FieldIndex(in.S)
+			if !ok {
+				return Null(), fmt.Errorf("%w: %s.%s", ErrNoSuchField, obj.Class.Name, in.S)
+			}
+			vm.Counters.Atomic++
+			if obj.Fields[idx].Equal(exp) {
+				obj.Fields[idx] = nv
+				push(Int(1))
+			} else {
+				push(Int(0))
+			}
+		case OpAtomicAdd:
+			o, delta, err := pop2()
+			if err != nil {
+				return Null(), err
+			}
+			obj := o.AsRef()
+			if obj == nil {
+				return Null(), fmt.Errorf("%w: atomicadd %s", ErrNullPointer, in.S)
+			}
+			idx, ok := obj.Class.FieldIndex(in.S)
+			if !ok {
+				return Null(), fmt.Errorf("%w: %s.%s", ErrNoSuchField, obj.Class.Name, in.S)
+			}
+			vm.Counters.Atomic++
+			old := obj.Fields[idx]
+			obj.Fields[idx] = Int(old.AsInt() + delta.AsInt())
+			push(old)
+		case OpPark:
+			vm.Counters.Park++
+		case OpWait:
+			if _, err := pop(); err != nil {
+				return Null(), err
+			}
+			vm.Counters.Wait++
+		case OpNotify:
+			if _, err := pop(); err != nil {
+				return Null(), err
+			}
+			vm.Counters.Notify++
+
+		case OpInstanceOf:
+			o, err := pop()
+			if err != nil {
+				return Null(), err
+			}
+			push(boolVal(vm.isInstance(o, in.S)))
+		case OpCheckCast:
+			o, err := pop()
+			if err != nil {
+				return Null(), err
+			}
+			if !o.IsNull() && !vm.isInstance(o, in.S) {
+				return Null(), fmt.Errorf("%w: to %s", ErrBadCast, in.S)
+			}
+			push(o)
+
+		default:
+			return Null(), fmt.Errorf("rvm: unknown opcode %d at %s:%d", in.Op, m.QualifiedName(), pc)
+		}
+		pc = next
+	}
+	return Null(), nil // fell off the end: implicit void return
+}
+
+func (vm *Interp) isInstance(v Value, className string) bool {
+	obj := v.AsRef()
+	if obj == nil {
+		return false
+	}
+	target, ok := vm.Program.Class(className)
+	if ok {
+		return obj.Class.IsSubclassOf(target)
+	}
+	// Unknown class names are treated as interface names.
+	return obj.Class.Implements(className)
+}
+
+// resolveStatic resolves "Class.method".
+func (vm *Interp) resolveStatic(qualified string) (*Method, error) {
+	dot := strings.LastIndexByte(qualified, '.')
+	if dot < 0 {
+		return nil, fmt.Errorf("%w: %q is not Class.method", ErrNoSuchMethod, qualified)
+	}
+	c, ok := vm.Program.Class(qualified[:dot])
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchClass, qualified[:dot])
+	}
+	mth, ok := c.Methods[qualified[dot+1:]]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchMethod, qualified)
+	}
+	return mth, nil
+}
+
+func popN(stack *[]Value, n int) ([]Value, error) {
+	s := *stack
+	if len(s) < n {
+		return nil, ErrStack
+	}
+	args := make([]Value, n)
+	copy(args, s[len(s)-n:])
+	*stack = s[:len(s)-n]
+	return args, nil
+}
+
+func arith(op Opcode, a, b Value) (Value, error) {
+	if a.Kind() == KindFloat || b.Kind() == KindFloat {
+		x, y := a.AsFloat(), b.AsFloat()
+		switch op {
+		case OpAdd:
+			return Float(x + y), nil
+		case OpSub:
+			return Float(x - y), nil
+		case OpMul:
+			return Float(x * y), nil
+		case OpDiv:
+			if y == 0 {
+				return Null(), ErrDivByZero
+			}
+			return Float(x / y), nil
+		case OpRem:
+			if y == 0 {
+				return Null(), ErrDivByZero
+			}
+			return Float(float64(int64(x) % int64(y))), nil
+		}
+	}
+	x, y := a.AsInt(), b.AsInt()
+	switch op {
+	case OpAdd:
+		return Int(x + y), nil
+	case OpSub:
+		return Int(x - y), nil
+	case OpMul:
+		return Int(x * y), nil
+	case OpDiv:
+		if y == 0 {
+			return Null(), ErrDivByZero
+		}
+		return Int(x / y), nil
+	case OpRem:
+		if y == 0 {
+			return Null(), ErrDivByZero
+		}
+		return Int(x % y), nil
+	}
+	return Null(), fmt.Errorf("rvm: bad arithmetic opcode %s", op)
+}
+
+func compare(op Opcode, a, b Value) bool {
+	if a.Kind() == KindRef || b.Kind() == KindRef || a.Kind() == KindNull || b.Kind() == KindNull ||
+		a.Kind() == KindHandle || b.Kind() == KindHandle {
+		eq := a.Equal(b)
+		switch op {
+		case OpCmpEQ:
+			return eq
+		case OpCmpNE:
+			return !eq
+		default:
+			return false
+		}
+	}
+	if a.Kind() == KindFloat || b.Kind() == KindFloat {
+		x, y := a.AsFloat(), b.AsFloat()
+		switch op {
+		case OpCmpLT:
+			return x < y
+		case OpCmpLE:
+			return x <= y
+		case OpCmpGT:
+			return x > y
+		case OpCmpGE:
+			return x >= y
+		case OpCmpEQ:
+			return x == y
+		case OpCmpNE:
+			return x != y
+		}
+	}
+	x, y := a.AsInt(), b.AsInt()
+	switch op {
+	case OpCmpLT:
+		return x < y
+	case OpCmpLE:
+		return x <= y
+	case OpCmpGT:
+		return x > y
+	case OpCmpGE:
+		return x >= y
+	case OpCmpEQ:
+		return x == y
+	case OpCmpNE:
+		return x != y
+	}
+	return false
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return Int(1)
+	}
+	return Int(0)
+}

@@ -1,0 +1,347 @@
+// Package ir implements the RVM's compiler intermediate representation: a
+// register-based control-flow graph with explicit guard instructions, the
+// form the paper's seven optimizations (§5) transform. Bytecode methods are
+// translated by Build (abstract stack interpretation); the IR interpreter
+// in exec.go runs the result under a deterministic cycle cost model and is
+// differentially tested against the bytecode interpreter.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"renaissance/internal/rvm"
+)
+
+// Reg is a virtual register index.
+type Reg int
+
+// NoReg marks an absent register operand.
+const NoReg Reg = -1
+
+// Op enumerates IR instructions.
+type Op int
+
+// IR opcodes.
+const (
+	OpConst Op = iota // Dst = Val
+	OpMove            // Dst = A
+
+	OpAdd // Dst = A + B (float-promoting, like bytecode)
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpNeg // Dst = -A
+
+	OpCmpLT // Dst = A < B
+	OpCmpLE
+	OpCmpGT
+	OpCmpGE
+	OpCmpEQ
+	OpCmpNE
+
+	OpNew      // Dst = new Sym
+	OpGetField // Dst = A.Sym (unguarded; GuardNull precedes)
+	OpPutField // A.Sym = B
+	OpNewArray // Dst = new array[A]
+	OpALoad    // Dst = A[B] (unguarded; GuardBounds precedes)
+	OpAStore   // A[B] = C
+	OpArrayLen // Dst = len(A)
+
+	OpCallStatic // Dst = Sym(Args...)
+	OpCallVirt   // Dst = Args[0].Sym(Args...) (dynamic dispatch)
+	OpMakeHandle // Dst = handle(Sym) — invokedynamic bootstrap
+	OpCallHandle // Dst = (A)(Args...) — polymorphic handle invocation
+
+	OpMonitorEnter // lock A
+	OpMonitorExit  // unlock A
+	OpCAS          // Dst = CAS(A.Sym, expected=B, new=C)
+	OpScalarCAS    // Dst = (regA == B ? (regA = C; 1) : 0) — EAWA residue
+	OpAtomicAdd    // Dst = fetch-add(A.Sym, B)
+	OpPark
+	OpWait   // A
+	OpNotify // A
+
+	OpInstanceOf // Dst = A instanceof Sym
+	OpCheckCast  // Dst = A checked to Sym
+
+	// Guards. Executing a guard whose condition fails is a
+	// deoptimization; the IR interpreter reports it as an error (our
+	// experiments never deoptimize). GuardKind is in Sym.
+	OpGuardNull   // deopt when A is null
+	OpGuardBounds // deopt unless 0 <= B < len(A)
+
+	// Vector instruction produced by loop vectorization: processes
+	// VectorWidth consecutive lanes in one instruction.
+	// Dst(array) [B..B+W) = A1(array)[B..] <ArithOp> A2(array or const)[B..]
+	OpVecArith
+
+	numOps
+)
+
+// VectorWidth is the lane count of OpVecArith.
+const VectorWidth = 4
+
+var opNames = [numOps]string{
+	"const", "move",
+	"add", "sub", "mul", "div", "rem", "neg",
+	"cmplt", "cmple", "cmpgt", "cmpge", "cmpeq", "cmpne",
+	"new", "getfield", "putfield", "newarray", "aload", "astore", "arraylen",
+	"callstatic", "callvirt", "makehandle", "callhandle",
+	"monitorenter", "monitorexit", "cas", "scalarcas", "atomicadd", "park", "wait", "notify",
+	"instanceof", "checkcast",
+	"guardnull", "guardbounds",
+	"vecarith",
+}
+
+// String returns the mnemonic.
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("irop(%d)", int(op))
+}
+
+// HasSideEffects reports whether the instruction must not be removed by
+// dead-code elimination even when its result is unused.
+func (op Op) HasSideEffects() bool {
+	switch op {
+	case OpPutField, OpAStore, OpCallStatic, OpCallVirt, OpCallHandle,
+		OpMonitorEnter, OpMonitorExit, OpCAS, OpScalarCAS, OpAtomicAdd,
+		OpPark, OpWait, OpNotify, OpGuardNull, OpGuardBounds, OpCheckCast,
+		OpVecArith, OpNew, OpNewArray:
+		// New/NewArray are kept: escape analysis, not DCE, removes
+		// allocations (so that removal is always paired with scalar
+		// replacement).
+		return true
+	}
+	return false
+}
+
+// Instr is one IR instruction.
+type Instr struct {
+	Op   Op
+	Dst  Reg
+	A    Reg
+	B    Reg
+	C    Reg
+	Args []Reg     // call arguments
+	Val  rvm.Value // OpConst payload
+	Sym  string    // class/field/method name
+	// ArithOp refines OpVecArith (OpAdd/OpSub/OpMul).
+	ArithOp Op
+	// ConstOperand, when non-nil on OpVecArith, replaces the A2 array with
+	// a broadcast scalar.
+	ConstOperand *rvm.Value
+}
+
+// Uses returns the registers the instruction reads.
+func (in *Instr) Uses() []Reg {
+	var out []Reg
+	add := func(r Reg) {
+		if r != NoReg {
+			out = append(out, r)
+		}
+	}
+	switch in.Op {
+	case OpConst, OpMakeHandle, OpNew, OpPark:
+	case OpCallStatic:
+	case OpVecArith:
+		// The "destination" of a vector op is an array register that is
+		// read (for identity), not defined.
+		add(in.Dst)
+		add(in.A)
+		add(in.B)
+		add(in.C)
+	default:
+		add(in.A)
+		add(in.B)
+		add(in.C)
+	}
+	out = append(out, in.Args...)
+	return out
+}
+
+// Defines reports whether the instruction writes Dst as a regular result
+// register (OpVecArith's Dst is an input).
+func (in *Instr) Defines() bool {
+	return in.Dst != NoReg && in.Op != OpVecArith
+}
+
+func (in *Instr) String() string {
+	var b strings.Builder
+	if in.Dst != NoReg {
+		fmt.Fprintf(&b, "r%d = ", in.Dst)
+	}
+	b.WriteString(in.Op.String())
+	if in.Sym != "" {
+		fmt.Fprintf(&b, " %s", in.Sym)
+	}
+	if in.Op == OpConst {
+		fmt.Fprintf(&b, " %s", in.Val)
+	}
+	if in.Op == OpVecArith {
+		fmt.Fprintf(&b, "[%s]", in.ArithOp)
+	}
+	for _, r := range []Reg{in.A, in.B, in.C} {
+		if r != NoReg {
+			fmt.Fprintf(&b, " r%d", r)
+		}
+	}
+	for _, r := range in.Args {
+		fmt.Fprintf(&b, " a:r%d", r)
+	}
+	return b.String()
+}
+
+// TermKind discriminates block terminators.
+type TermKind int
+
+// Terminator kinds.
+const (
+	TermJump TermKind = iota
+	TermBranch
+	TermReturn
+	TermReturnVoid
+)
+
+// Terminator ends a block.
+type Terminator struct {
+	Kind TermKind
+	Cond Reg    // TermBranch
+	To   *Block // TermJump target / TermBranch taken
+	Else *Block // TermBranch fallthrough
+	Ret  Reg    // TermReturn value
+}
+
+// Succs returns the successor blocks.
+func (t *Terminator) Succs() []*Block {
+	switch t.Kind {
+	case TermJump:
+		return []*Block{t.To}
+	case TermBranch:
+		return []*Block{t.To, t.Else}
+	default:
+		return nil
+	}
+}
+
+// Block is a basic block.
+type Block struct {
+	ID    int
+	Code  []*Instr
+	Term  Terminator
+	Preds []*Block
+}
+
+// Func is an IR function.
+type Func struct {
+	Name   string
+	NArgs  int
+	NRegs  int
+	Blocks []*Block
+	Entry  *Block
+}
+
+// NewReg allocates a fresh virtual register.
+func (f *Func) NewReg() Reg {
+	r := Reg(f.NRegs)
+	f.NRegs++
+	return r
+}
+
+// NewBlock appends a fresh block.
+func (f *Func) NewBlock() *Block {
+	b := &Block{ID: len(f.Blocks)}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// RecomputePreds rebuilds predecessor lists after CFG surgery.
+func (f *Func) RecomputePreds() {
+	for _, b := range f.Blocks {
+		b.Preds = nil
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Term.Succs() {
+			s.Preds = append(s.Preds, b)
+		}
+	}
+}
+
+// Renumber reassigns contiguous block IDs in current slice order and drops
+// unreachable blocks.
+func (f *Func) Renumber() {
+	reachable := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if reachable[b] {
+			return
+		}
+		reachable[b] = true
+		for _, s := range b.Term.Succs() {
+			walk(s)
+		}
+	}
+	walk(f.Entry)
+	var kept []*Block
+	for _, b := range f.Blocks {
+		if reachable[b] {
+			b.ID = len(kept)
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+	f.RecomputePreds()
+}
+
+// Size returns the total instruction count (terminators count as one), the
+// compiled-code-size measure of Figure 7.
+func (f *Func) Size() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Code) + 1
+	}
+	return n
+}
+
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s (args=%d regs=%d)\n", f.Name, f.NArgs, f.NRegs)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "b%d:", blk.ID)
+		if blk == f.Entry {
+			b.WriteString(" (entry)")
+		}
+		b.WriteString("\n")
+		for _, in := range blk.Code {
+			fmt.Fprintf(&b, "  %s\n", in)
+		}
+		switch blk.Term.Kind {
+		case TermJump:
+			fmt.Fprintf(&b, "  jump b%d\n", blk.Term.To.ID)
+		case TermBranch:
+			fmt.Fprintf(&b, "  branch r%d ? b%d : b%d\n", blk.Term.Cond, blk.Term.To.ID, blk.Term.Else.ID)
+		case TermReturn:
+			fmt.Fprintf(&b, "  return r%d\n", blk.Term.Ret)
+		case TermReturnVoid:
+			b.WriteString("  return\n")
+		}
+	}
+	return b.String()
+}
+
+// Program is a compiled program: IR functions plus the class table (for
+// field layout, allocation, and type tests).
+type Program struct {
+	Funcs   map[string]*Func // key: Class.method
+	Classes map[string]*rvm.Class
+	Entry   string
+}
+
+// Func looks up a function by qualified name.
+func (p *Program) Func(name string) (*Func, bool) {
+	f, ok := p.Funcs[name]
+	return f, ok
+}

@@ -1,0 +1,137 @@
+package opt
+
+import (
+	"renaissance/internal/rvm"
+	"renaissance/internal/rvm/ir"
+)
+
+// DuplicateSimulate implements §5.7, dominance-based duplication
+// simulation: when a control-flow merge is followed by a type test that is
+// dominated by an identical test before the split, the merge block is
+// duplicated into both predecessors. In each copy the test's outcome is a
+// constant, so canonicalization folds the re-check and its branch away —
+// the paper's two-consecutive-instanceof example becomes a single test.
+//
+// The simulation aspect (estimating benefit before committing) is
+// represented by the profitability condition: duplication happens only
+// when it provably eliminates the dominated type test.
+func DuplicateSimulate(f *ir.Func, prog *ir.Program) bool {
+	changed := false
+	for rounds := 0; rounds < 4; rounds++ {
+		if !duplicateOne(f) {
+			break
+		}
+		changed = true
+	}
+	if changed {
+		f.Renumber()
+	}
+	return changed
+}
+
+func duplicateOne(f *ir.Func) bool {
+	f.RecomputePreds()
+	for _, p := range f.Blocks {
+		if p.Term.Kind != ir.TermBranch {
+			continue
+		}
+		// The branch condition must be an instanceof computed in p.
+		var test *ir.Instr
+		for _, in := range p.Code {
+			if in.Defines() && in.Dst == p.Term.Cond {
+				test = in
+			}
+		}
+		if test == nil || test.Op != ir.OpInstanceOf {
+			continue
+		}
+		a, b := p.Term.To, p.Term.Else
+		if a == b || a == p || b == p {
+			continue
+		}
+		// Diamond: both arms flow only into the same merge block.
+		if a.Term.Kind != ir.TermJump || b.Term.Kind != ir.TermJump {
+			continue
+		}
+		m := a.Term.To
+		if m != b.Term.To || m == a || m == b || m == p {
+			continue
+		}
+		if len(a.Preds) != 1 || len(b.Preds) != 1 || len(m.Preds) != 2 {
+			continue
+		}
+		// Both tests must examine the same underlying reference: chase the
+		// operand-stack copies back to the blocks' entry registers and
+		// compare roots.
+		testIdx := indexOf(p.Code, test)
+		testRoot, ok := chaseBackward(p, testIdx, test.A)
+		if !ok {
+			continue
+		}
+		var reTest *ir.Instr
+		for i, in := range m.Code {
+			if in.Op != ir.OpInstanceOf || in.Sym != test.Sym {
+				continue
+			}
+			root, ok := chaseBackward(m, i, in.A)
+			if ok && root == testRoot {
+				reTest = in
+				break
+			}
+		}
+		if reTest == nil {
+			continue
+		}
+		// The root reference must survive from the first test to the
+		// re-test unchanged: not redefined after the test in p, nor
+		// anywhere in the arms.
+		rootSurvives := true
+		for i := testIdx + 1; i < len(p.Code); i++ {
+			if p.Code[i].Defines() && p.Code[i].Dst == testRoot {
+				rootSurvives = false
+				break
+			}
+		}
+		if !rootSurvives || redefinedIn(a, testRoot) || redefinedIn(b, testRoot) {
+			continue
+		}
+
+		duplicateMerge(a, m, reTest, true)
+		duplicateMerge(b, m, reTest, false)
+		return true
+	}
+	return false
+}
+
+func indexOf(code []*ir.Instr, target *ir.Instr) int {
+	for i, in := range code {
+		if in == target {
+			return i
+		}
+	}
+	return -1
+}
+
+// duplicateMerge appends a copy of the merge block's code to pred,
+// replacing the dominated type test with its known outcome, and copies the
+// merge terminator.
+func duplicateMerge(pred, m *ir.Block, reTest *ir.Instr, outcome bool) {
+	for _, in := range m.Code {
+		if in == reTest {
+			c := instr(ir.OpConst)
+			c.Dst = in.Dst
+			c.Val = rvm.Int(0)
+			if outcome {
+				c.Val = rvm.Int(1)
+			}
+			pred.Code = append(pred.Code, &c)
+			continue
+		}
+		cp := *in
+		if len(in.Args) > 0 {
+			cp.Args = append([]ir.Reg(nil), in.Args...)
+		}
+		pred.Code = append(pred.Code, &cp)
+	}
+	pred.Term = m.Term
+}

@@ -1,0 +1,44 @@
+package opt
+
+import "renaissance/internal/rvm/ir"
+
+// DeadCodeElim removes instructions whose results are never used and that
+// have no side effects, using per-block backward liveness.
+func DeadCodeElim(f *ir.Func, prog *ir.Program) bool {
+	liveOut := ir.Liveness(f)
+	changed := false
+	for _, b := range f.Blocks {
+		live := map[ir.Reg]bool{}
+		for r := range liveOut[b] {
+			live[r] = true
+		}
+		switch b.Term.Kind {
+		case ir.TermBranch:
+			live[b.Term.Cond] = true
+		case ir.TermReturn:
+			live[b.Term.Ret] = true
+		}
+		var keptRev []*ir.Instr
+		for i := len(b.Code) - 1; i >= 0; i-- {
+			in := b.Code[i]
+			dead := in.Defines() && !live[in.Dst] && !in.Op.HasSideEffects()
+			if dead {
+				changed = true
+				continue
+			}
+			if in.Defines() {
+				delete(live, in.Dst)
+			}
+			for _, u := range in.Uses() {
+				live[u] = true
+			}
+			keptRev = append(keptRev, in)
+		}
+		// Reverse back.
+		for l, r := 0, len(keptRev)-1; l < r; l, r = l+1, r-1 {
+			keptRev[l], keptRev[r] = keptRev[r], keptRev[l]
+		}
+		b.Code = keptRev
+	}
+	return changed
+}

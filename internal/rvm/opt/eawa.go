@@ -1,0 +1,240 @@
+package opt
+
+import (
+	"renaissance/internal/rvm"
+	"renaissance/internal/rvm/ir"
+)
+
+// EscapeAnalysis implements §5.1, partial escape analysis extended with
+// atomic operations: an allocation that never escapes is removed and its
+// fields become registers (scalar replacement). The paper's contribution
+// is that CAS and atomic read-modify-write operations on such objects no
+// longer force materialization: a CAS on a scalar-replaced field
+// degenerates to a compare-and-move (OpScalarCAS), and monitors on
+// non-escaping objects are elided. The soundness argument is the paper's:
+// a thread-local object cannot be observed by other threads, so the
+// single-threaded emulation of its atomic operations is indistinguishable
+// (§5.1 "Soundness").
+//
+// The analysis is flow-sensitive within the allocation's block: the
+// bytecode builder copies references through operand-stack registers, so
+// the alias set is tracked instruction by instruction. References that are
+// still aliased at the end of the block, or that flow into any
+// disallowed use, escape.
+func EscapeAnalysis(f *ir.Func, prog *ir.Program) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for idx := 0; idx < len(b.Code); idx++ {
+			in := b.Code[idx]
+			if in.Op != ir.OpNew {
+				continue
+			}
+			class, ok := prog.Classes[in.Sym]
+			if !ok {
+				continue
+			}
+			plan, ok := analyzeAllocation(f, b, idx, class)
+			if !ok {
+				continue
+			}
+			applyScalarReplacement(f, b, idx, class, plan)
+			changed = true
+			idx = -1 // block rewritten; rescan
+		}
+	}
+	if changed {
+		f.Renumber()
+	}
+	return changed
+}
+
+// replacePlan records, per instruction index in the allocation's block,
+// how the instruction must be rewritten.
+type replacePlan struct {
+	// aliasAt[i] is true when b.Code[i] operates on an alias of the
+	// allocation (and must be rewritten or dropped).
+	rewrite map[int]rewriteKind
+}
+
+type rewriteKind int
+
+const (
+	rwDrop rewriteKind = iota + 1 // alias move, guard, monitor
+	rwGet
+	rwPut
+	rwCAS
+	rwAtomicAdd
+)
+
+// analyzeAllocation decides whether the allocation at b.Code[idx] can be
+// scalar-replaced, and returns the rewrite plan.
+func analyzeAllocation(f *ir.Func, b *ir.Block, idx int, class *rvm.Class) (*replacePlan, bool) {
+	alloc := b.Code[idx]
+	aliases := map[ir.Reg]bool{alloc.Dst: true}
+	plan := &replacePlan{rewrite: map[int]rewriteKind{}}
+	knownField := func(sym string) bool {
+		_, ok := class.FieldIndex(sym)
+		return ok
+	}
+
+	usesAlias := func(in *ir.Instr) bool {
+		for _, u := range in.Uses() {
+			if aliases[u] {
+				return true
+			}
+		}
+		return false
+	}
+	// usesAliasOther reports whether in reads an alias through any operand
+	// position other than the single allowed base position.
+	usesAliasOther := func(in *ir.Instr, allowedBase ir.Reg) bool {
+		count := 0
+		for _, u := range in.Uses() {
+			if aliases[u] {
+				count++
+			}
+		}
+		if aliases[allowedBase] {
+			count--
+		}
+		return count > 0
+	}
+
+	for i := idx + 1; i < len(b.Code); i++ {
+		in := b.Code[i]
+		switch in.Op {
+		case ir.OpMove:
+			if aliases[in.A] {
+				plan.rewrite[i] = rwDrop // alias copy
+				if in.Defines() {
+					aliases[in.Dst] = true
+				}
+				continue
+			}
+		case ir.OpGuardNull:
+			if aliases[in.A] {
+				plan.rewrite[i] = rwDrop
+				continue
+			}
+		case ir.OpMonitorEnter, ir.OpMonitorExit:
+			if aliases[in.A] {
+				plan.rewrite[i] = rwDrop
+				continue
+			}
+		case ir.OpGetField:
+			if aliases[in.A] {
+				if !knownField(in.Sym) || usesAliasOther(in, in.A) {
+					return nil, false
+				}
+				plan.rewrite[i] = rwGet
+				delete(aliases, in.Dst)
+				continue
+			}
+		case ir.OpPutField:
+			if aliases[in.A] {
+				if !knownField(in.Sym) || aliases[in.B] {
+					return nil, false
+				}
+				plan.rewrite[i] = rwPut
+				continue
+			}
+		case ir.OpCAS:
+			if aliases[in.A] {
+				if !knownField(in.Sym) || aliases[in.B] || aliases[in.C] {
+					return nil, false
+				}
+				plan.rewrite[i] = rwCAS
+				delete(aliases, in.Dst)
+				continue
+			}
+		case ir.OpAtomicAdd:
+			if aliases[in.A] {
+				if !knownField(in.Sym) || aliases[in.B] {
+					return nil, false
+				}
+				plan.rewrite[i] = rwAtomicAdd
+				delete(aliases, in.Dst)
+				continue
+			}
+		}
+		// Any other read of an alias escapes.
+		if usesAlias(in) {
+			return nil, false
+		}
+		// Redefinition kills an alias.
+		if in.Defines() {
+			delete(aliases, in.Dst)
+		}
+	}
+
+	// No alias may outlive the block.
+	if b.Term.Kind == ir.TermBranch && aliases[b.Term.Cond] {
+		return nil, false
+	}
+	if b.Term.Kind == ir.TermReturn && aliases[b.Term.Ret] {
+		return nil, false
+	}
+	liveOut := ir.Liveness(f)[b]
+	for r := range aliases {
+		if liveOut[r] {
+			return nil, false
+		}
+	}
+	return plan, true
+}
+
+// applyScalarReplacement rewrites the block per the plan.
+func applyScalarReplacement(f *ir.Func, b *ir.Block, idx int, class *rvm.Class, plan *replacePlan) {
+	fieldReg := map[string]ir.Reg{}
+	for _, name := range class.FieldNames {
+		fieldReg[name] = f.NewReg()
+	}
+
+	var out []*ir.Instr
+	out = append(out, b.Code[:idx]...)
+	// The allocation becomes per-field zero initializations (preserving
+	// re-initialization semantics when the allocation sits in a loop).
+	for _, name := range class.FieldNames {
+		cn := instr(ir.OpConst)
+		cn.Dst = fieldReg[name]
+		cn.Val = rvm.Null()
+		out = append(out, &cn)
+	}
+
+	for i := idx + 1; i < len(b.Code); i++ {
+		in := b.Code[i]
+		switch plan.rewrite[i] {
+		case rwDrop:
+			// guard/monitor/alias-copy vanishes
+		case rwGet:
+			mv := instr(ir.OpMove)
+			mv.Dst = in.Dst
+			mv.A = fieldReg[in.Sym]
+			out = append(out, &mv)
+		case rwPut:
+			mv := instr(ir.OpMove)
+			mv.Dst = fieldReg[in.Sym]
+			mv.A = in.B
+			out = append(out, &mv)
+		case rwCAS:
+			sc := instr(ir.OpScalarCAS)
+			sc.Dst = in.Dst
+			sc.A = fieldReg[in.Sym]
+			sc.B = in.B
+			sc.C = in.C
+			out = append(out, &sc)
+		case rwAtomicAdd:
+			mv := instr(ir.OpMove)
+			mv.Dst = in.Dst
+			mv.A = fieldReg[in.Sym]
+			add := instr(ir.OpAdd)
+			add.Dst = fieldReg[in.Sym]
+			add.A = in.Dst
+			add.B = in.B
+			out = append(out, &mv, &add)
+		default:
+			out = append(out, in)
+		}
+	}
+	b.Code = out
+}

@@ -1,0 +1,166 @@
+package opt
+
+import (
+	"strings"
+
+	"renaissance/internal/rvm"
+	"renaissance/internal/rvm/ir"
+)
+
+// Inlining limits: callees up to inlineCalleeSize instructions are
+// inlined while the caller stays under inlineCallerBudget.
+const (
+	inlineCalleeSize   = 48
+	inlineCallerBudget = 600
+)
+
+// Inline replaces small static calls with the callee's body. Method-handle
+// simplification (§5.4) feeds this pass: once a polymorphic handle call is
+// rewritten to a direct call, inlining exposes the lambda body to the
+// other optimizations ("inlining the body of the lambda typically
+// triggers other optimizations").
+func Inline(f *ir.Func, prog *ir.Program) bool {
+	changed := false
+	for rounds := 0; rounds < 4; rounds++ {
+		site := findInlineSite(f, prog)
+		if site == nil {
+			break
+		}
+		inlineCall(f, site, prog)
+		changed = true
+	}
+	if changed {
+		f.Renumber()
+	}
+	return changed
+}
+
+type callSite struct {
+	block  *ir.Block
+	index  int
+	callee *ir.Func
+}
+
+func findInlineSite(f *ir.Func, prog *ir.Program) *callSite {
+	if f.Size() > inlineCallerBudget {
+		return nil
+	}
+	for _, b := range f.Blocks {
+		for i, in := range b.Code {
+			if in.Op != ir.OpCallStatic {
+				continue
+			}
+			callee, ok := prog.Func(in.Sym)
+			if !ok || callee == f {
+				continue
+			}
+			if callee.Size() > inlineCalleeSize {
+				continue
+			}
+			if callsSelfOr(callee, f.Name) || callsSelfOr(callee, callee.Name) {
+				continue // (mutually) recursive
+			}
+			return &callSite{block: b, index: i, callee: callee}
+		}
+	}
+	return nil
+}
+
+func callsSelfOr(f *ir.Func, name string) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Code {
+			if in.Op == ir.OpCallStatic && in.Sym == name {
+				return true
+			}
+			// Conservatively refuse handle-based indirect recursion on
+			// handles naming the function.
+			if in.Op == ir.OpMakeHandle && strings.Contains(in.Sym, name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inlineCall splices the callee body in place of the call instruction.
+func inlineCall(f *ir.Func, site *callSite, prog *ir.Program) {
+	call := site.block.Code[site.index]
+	offset := ir.Reg(f.NRegs)
+	f.NRegs += site.callee.NRegs
+
+	// Clone callee blocks with shifted registers.
+	cloneOf := map[*ir.Block]*ir.Block{}
+	for _, cb := range site.callee.Blocks {
+		cloneOf[cb] = f.NewBlock()
+	}
+
+	// Continuation block: the tail of the call block.
+	cont := f.NewBlock()
+	cont.Code = append(cont.Code, site.block.Code[site.index+1:]...)
+	cont.Term = site.block.Term
+
+	shift := func(r ir.Reg) ir.Reg {
+		if r == ir.NoReg {
+			return ir.NoReg
+		}
+		return r + offset
+	}
+
+	for _, cb := range site.callee.Blocks {
+		nb := cloneOf[cb]
+		for _, in := range cb.Code {
+			ci := *in
+			ci.Dst = shiftDef(in, offset)
+			ci.A = shift(in.A)
+			ci.B = shift(in.B)
+			ci.C = shift(in.C)
+			if len(in.Args) > 0 {
+				ci.Args = make([]ir.Reg, len(in.Args))
+				for k, r := range in.Args {
+					ci.Args[k] = shift(r)
+				}
+			}
+			nb.Code = append(nb.Code, &ci)
+		}
+		switch cb.Term.Kind {
+		case ir.TermJump:
+			nb.Term = ir.Terminator{Kind: ir.TermJump, To: cloneOf[cb.Term.To], Cond: ir.NoReg, Ret: ir.NoReg}
+		case ir.TermBranch:
+			nb.Term = ir.Terminator{
+				Kind: ir.TermBranch, Cond: shift(cb.Term.Cond),
+				To: cloneOf[cb.Term.To], Else: cloneOf[cb.Term.Else], Ret: ir.NoReg,
+			}
+		case ir.TermReturn:
+			mv := instr(ir.OpMove)
+			mv.Dst = call.Dst
+			mv.A = shift(cb.Term.Ret)
+			nb.Code = append(nb.Code, &mv)
+			nb.Term = ir.Terminator{Kind: ir.TermJump, To: cont, Cond: ir.NoReg, Ret: ir.NoReg}
+		case ir.TermReturnVoid:
+			cn := instr(ir.OpConst)
+			cn.Dst = call.Dst
+			cn.Val = rvm.Null()
+			nb.Code = append(nb.Code, &cn)
+			nb.Term = ir.Terminator{Kind: ir.TermJump, To: cont, Cond: ir.NoReg, Ret: ir.NoReg}
+		}
+	}
+
+	// The call block: code before the call, argument moves, then jump to
+	// the callee entry clone.
+	head := site.block.Code[:site.index]
+	site.block.Code = append([]*ir.Instr(nil), head...)
+	for i, argReg := range call.Args {
+		mv := instr(ir.OpMove)
+		mv.Dst = ir.Reg(i) + offset
+		mv.A = argReg
+		site.block.Code = append(site.block.Code, &mv)
+	}
+	site.block.Term = ir.Terminator{Kind: ir.TermJump, To: cloneOf[site.callee.Entry], Cond: ir.NoReg, Ret: ir.NoReg}
+}
+
+func shiftDef(in *ir.Instr, offset ir.Reg) ir.Reg {
+	if in.Dst == ir.NoReg {
+		return ir.NoReg
+	}
+	return in.Dst + offset
+}

@@ -1,0 +1,229 @@
+package opt
+
+import (
+	"renaissance/internal/rvm"
+	"renaissance/internal/rvm/ir"
+)
+
+// CoarsenChunk is the tile size C of loop-wide lock coarsening. The paper
+// reports that C = 32 works well for fj-kmeans (§5.2); the ablation bench
+// sweeps this value.
+var CoarsenChunk int64 = 32
+
+// CoarsenLocks implements §5.2, loop-wide lock coarsening: a loop whose
+// body acquires and releases the same lock on every iteration is tiled
+// into chunks of C iterations, holding the lock across each whole chunk.
+// The monitor operations execute 1/C as often. The transformation is legal
+// when the loop condition acquires no lock (here: the header is pure
+// arithmetic), matching the paper's side condition; fairness is not part
+// of Java monitor semantics, so holding the lock longer only restricts
+// the schedule set (§5.2 "Soundness").
+func CoarsenLocks(f *ir.Func, prog *ir.Program) bool {
+	changed := false
+	for {
+		if !coarsenOne(f) {
+			break
+		}
+		changed = true
+	}
+	if changed {
+		f.Renumber()
+	}
+	return changed
+}
+
+func coarsenOne(f *ir.Func) bool {
+	loops := ir.FindLoops(f)
+	for _, l := range loops {
+		if len(l.Blocks) != 2 || len(l.Latches) != 1 {
+			continue
+		}
+		h := l.Header
+		body := l.Latches[0]
+		if body == h || !l.Blocks[body] {
+			continue
+		}
+		// Header: pure code, conditional branch with one arm into the
+		// body and one out of the loop.
+		if h.Term.Kind != ir.TermBranch || !isPureCode(h.Code) {
+			continue
+		}
+		var exit *ir.Block
+		switch {
+		case h.Term.To == body && !l.Blocks[h.Term.Else]:
+			exit = h.Term.Else
+		case h.Term.Else == body && !l.Blocks[h.Term.To]:
+			exit = h.Term.To
+		default:
+			continue
+		}
+		_ = exit
+		// Body: straight-line block jumping back to the header.
+		if body.Term.Kind != ir.TermJump || body.Term.To != h {
+			continue
+		}
+		me, mx, lock, ok := matchMonitorRegion(body)
+		if !ok {
+			continue
+		}
+		// The lock register must be loop-invariant at block entry: chase
+		// the operand-stack copies back to the register that carried the
+		// lock into the body.
+		lockRoot, ok := chaseBackward(body, me, lock)
+		if !ok || definesReg(h, lockRoot) || definesReg(body, lockRoot) {
+			continue
+		}
+		applyCoarsening(f, h, body, me, mx, lockRoot)
+		return true
+	}
+	return false
+}
+
+// matchMonitorRegion finds the single monitor-enter/exit pair bracketing
+// the body's critical region and validates the surrounding code.
+func matchMonitorRegion(b *ir.Block) (me, mx int, lock ir.Reg, ok bool) {
+	me, mx = -1, -1
+	for i, in := range b.Code {
+		switch in.Op {
+		case ir.OpMonitorEnter:
+			if me >= 0 {
+				return 0, 0, 0, false
+			}
+			me = i
+			lock = in.A
+		case ir.OpMonitorExit:
+			if mx >= 0 || me < 0 {
+				return 0, 0, 0, false
+			}
+			mx = i
+			if in.A != lock {
+				return 0, 0, 0, false
+			}
+		case ir.OpCallStatic, ir.OpCallVirt, ir.OpCallHandle,
+			ir.OpPark, ir.OpWait, ir.OpNotify:
+			// Calls may acquire locks; waits change monitor semantics.
+			return 0, 0, 0, false
+		}
+	}
+	if me < 0 || mx < 0 || mx <= me {
+		return 0, 0, 0, false
+	}
+	// Only the lock push (moves/constants) and its guard may precede the
+	// enter.
+	for i := 0; i < me; i++ {
+		switch b.Code[i].Op {
+		case ir.OpGuardNull, ir.OpMove, ir.OpConst:
+		default:
+			return 0, 0, 0, false
+		}
+	}
+	// The exit's lock operand must be the same value as the enter's.
+	enterRoot, ok1 := chaseBackward(b, me, b.Code[me].A)
+	exitRoot, ok2 := chaseBackward(b, mx, b.Code[mx].A)
+	if !ok1 || !ok2 || enterRoot != exitRoot {
+		return 0, 0, 0, false
+	}
+	return me, mx, lock, true
+}
+
+func isPureCode(code []*ir.Instr) bool {
+	for _, in := range code {
+		switch in.Op {
+		case ir.OpConst, ir.OpMove, ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv,
+			ir.OpRem, ir.OpNeg, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT,
+			ir.OpCmpGE, ir.OpCmpEQ, ir.OpCmpNE, ir.OpArrayLen:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func definesReg(b *ir.Block, r ir.Reg) bool {
+	for _, in := range b.Code {
+		if in.Defines() && in.Dst == r {
+			return true
+		}
+	}
+	return false
+}
+
+// applyCoarsening rewrites
+//
+//	H: if cond goto B else Exit
+//	B: [guards] enter l; region; exit l; tail; goto H
+//
+// into the tiled form
+//
+//	H:      if cond goto Bpre else Exit
+//	Bpre:   [guards] enter l; c = 0; limit = C; one = 1; goto Binner
+//	Binner: region; tail; c += one; if c < limit goto H2 else Bexit
+//	H2:     (copy of H's pure condition code) if cond goto Binner else Bexit
+//	Bexit:  exit l; goto H
+func applyCoarsening(f *ir.Func, h, body *ir.Block, me, mx int, lock ir.Reg) {
+	cReg := f.NewReg()
+	limitReg := f.NewReg()
+	oneReg := f.NewReg()
+	cmpReg := f.NewReg()
+
+	binner := f.NewBlock()
+	h2 := f.NewBlock()
+	bexit := f.NewBlock()
+
+	region := body.Code[me+1 : mx]
+	tail := body.Code[mx+1:]
+
+	// Bpre reuses the original body block so the header's branch still
+	// points at it.
+	var pre []*ir.Instr
+	pre = append(pre, body.Code[:me+1]...) // guards + monitor enter
+	czero := instr(ir.OpConst)
+	czero.Dst = cReg
+	czero.Val = rvm.Int(0)
+	climit := instr(ir.OpConst)
+	climit.Dst = limitReg
+	climit.Val = rvm.Int(CoarsenChunk)
+	cone := instr(ir.OpConst)
+	cone.Dst = oneReg
+	cone.Val = rvm.Int(1)
+	pre = append(pre, &czero, &climit, &cone)
+	body.Code = pre
+	body.Term = ir.Terminator{Kind: ir.TermJump, To: binner, Cond: ir.NoReg, Ret: ir.NoReg}
+
+	// Binner: the critical region and loop tail, then the chunk check.
+	binner.Code = append(binner.Code, region...)
+	binner.Code = append(binner.Code, tail...)
+	inc := instr(ir.OpAdd)
+	inc.Dst = cReg
+	inc.A = cReg
+	inc.B = oneReg
+	cmp := instr(ir.OpCmpLT)
+	cmp.Dst = cmpReg
+	cmp.A = cReg
+	cmp.B = limitReg
+	binner.Code = append(binner.Code, &inc, &cmp)
+	binner.Term = ir.Terminator{Kind: ir.TermBranch, Cond: cmpReg, To: h2, Else: bexit, Ret: ir.NoReg}
+
+	// H2: re-evaluate the loop condition without releasing the lock.
+	for _, in := range h.Code {
+		cp := *in
+		if len(in.Args) > 0 {
+			cp.Args = append([]ir.Reg(nil), in.Args...)
+		}
+		h2.Code = append(h2.Code, &cp)
+	}
+	if h.Term.Else == body {
+		// The header branches out of the loop when the condition holds.
+		h2.Term = ir.Terminator{Kind: ir.TermBranch, Cond: h.Term.Cond, To: bexit, Else: binner, Ret: ir.NoReg}
+	} else {
+		h2.Term = ir.Terminator{Kind: ir.TermBranch, Cond: h.Term.Cond, To: binner, Else: bexit, Ret: ir.NoReg}
+	}
+
+	// Bexit: release the lock (via its loop-invariant root register, since
+	// the operand-stack copy used inside the body may be clobbered by the
+	// loop tail), continue with the outer loop header.
+	exitI := instr(ir.OpMonitorExit)
+	exitI.A = lock
+	bexit.Code = append(bexit.Code, &exitI)
+	bexit.Term = ir.Terminator{Kind: ir.TermJump, To: h, Cond: ir.NoReg, Ret: ir.NoReg}
+}

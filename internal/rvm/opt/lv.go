@@ -1,0 +1,267 @@
+package opt
+
+import (
+	"renaissance/internal/rvm"
+	"renaissance/internal/rvm/ir"
+)
+
+// Vectorize implements §5.6, loop vectorization: an innermost counted loop
+// whose body is a single guarded-free element-wise array operation
+//
+//	for (i = ...; i < n; i++) c[i] = a[i] OP b[i]   (or OP const)
+//
+// is rewritten into a main loop processing VectorWidth lanes per iteration
+// with a single vector instruction, plus the original loop as the scalar
+// remainder. Bounds-check guards inside the body block vectorization —
+// exactly the paper's observation that "by disabling speculative guard
+// motion, loop vectorization almost never triggers".
+func Vectorize(f *ir.Func, prog *ir.Program) bool {
+	changed := false
+	for _, l := range ir.FindLoops(f) {
+		if vectorizeLoop(f, l) {
+			changed = true
+		}
+	}
+	if changed {
+		f.Renumber()
+	}
+	return changed
+}
+
+func vectorizeLoop(f *ir.Func, l *ir.Loop) bool {
+	if len(l.Blocks) != 2 || len(l.Latches) != 1 {
+		return false
+	}
+	h := l.Header
+	body := l.Latches[0]
+	if body == h || body.Term.Kind != ir.TermJump || body.Term.To != h {
+		return false
+	}
+	if h.Term.Kind != ir.TermBranch || !isPureCode(h.Code) {
+		return false
+	}
+	if !(h.Term.To == body && !l.Blocks[h.Term.Else]) {
+		return false
+	}
+
+	res := newLoopResolver(l)
+	bound := res.headerBound(l)
+	if !bound.resolved || bound.indOff != 0 {
+		return false
+	}
+	step, ok := res.inductionStep(bound.indVar)
+	if !ok || step != 1 {
+		return false
+	}
+
+	// Classify the body: only loads, one store, pure glue, and arithmetic
+	// may appear; guards block vectorization (they need GM first).
+	var loads []*ir.Instr
+	var store *ir.Instr
+	pos := map[*ir.Instr]int{}
+	for i, in := range body.Code {
+		pos[in] = i
+		switch in.Op {
+		case ir.OpALoad:
+			loads = append(loads, in)
+		case ir.OpAStore:
+			if store != nil {
+				return false
+			}
+			store = in
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpConst, ir.OpMove:
+			// arithmetic and glue; the element operation is identified
+			// below by tracing the stored value
+		case ir.OpGuardNull, ir.OpGuardBounds:
+			return false
+		default:
+			return false
+		}
+	}
+	if store == nil || len(loads) == 0 || len(loads) > 2 {
+		return false
+	}
+
+	// The element operation is the instruction producing the stored value.
+	counts := ir.DefCounts(f)
+	sites := defSites(f, counts)
+	arith := traceValue(f, counts, sites, body, pos[store], store.C, 0)
+	if arith == nil {
+		return false
+	}
+	switch arith.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul:
+	default:
+		return false
+	}
+	if pi, ok := pos[arith]; !ok || pi >= pos[store] {
+		return false // must be produced in this body before the store
+	}
+
+	// All arrays must resolve to loop-invariant base registers, and all
+	// indices to exactly the induction variable.
+	arrayBase := func(in *ir.Instr) (ir.Reg, bool) {
+		i := pos[in]
+		a := affineAt(body, i, in.A, 0)
+		if !a.ok || a.base == ir.NoReg || a.off != 0 || !res.invariant(a.base) {
+			return ir.NoReg, false
+		}
+		idx := affineAt(body, i, in.B, 0)
+		if !idx.ok || idx.base != bound.indVar || idx.off != 0 {
+			return ir.NoReg, false
+		}
+		return a.base, true
+	}
+	loadBase := map[*ir.Instr]ir.Reg{}
+	for _, ld := range loads {
+		base, ok := arrayBase(ld)
+		if !ok {
+			return false
+		}
+		loadBase[ld] = base
+	}
+	storeBase, ok := arrayBase(store)
+	if !ok {
+		return false
+	}
+
+	// Operand shapes: load OP load, load OP const, const OP load
+	// (commutative only). Each operand traces back either to one of the
+	// body's element loads or to a constant.
+	var src1, src2 ir.Reg = ir.NoReg, ir.NoReg
+	var constOp *rvm.Value
+	arithIdx := pos[arith]
+	usedLoads := map[*ir.Instr]bool{}
+	resolveOperand := func(r ir.Reg) (arr ir.Reg, cv *rvm.Value, ok bool) {
+		d := traceValue(f, counts, sites, body, arithIdx, r, 0)
+		for _, ld := range loads {
+			if d == ld {
+				usedLoads[ld] = true
+				return loadBase[ld], nil, true
+			}
+		}
+		a := affineAt(body, arithIdx, r, 0)
+		if a.ok && a.base == ir.NoReg {
+			v := rvm.Int(a.off)
+			return ir.NoReg, &v, true
+		}
+		return ir.NoReg, nil, false
+	}
+	a1, c1, ok1 := resolveOperand(arith.A)
+	a2, c2, ok2 := resolveOperand(arith.B)
+	if !ok1 || !ok2 {
+		return false
+	}
+	switch {
+	case a1 != ir.NoReg && a2 != ir.NoReg:
+		src1, src2 = a1, a2
+	case a1 != ir.NoReg && c2 != nil:
+		src1, constOp = a1, c2
+	case c1 != nil && a2 != ir.NoReg && (arith.Op == ir.OpAdd || arith.Op == ir.OpMul):
+		src1, constOp = a2, c1
+	default:
+		return false
+	}
+	// Every load in the body must feed the element operation; an unused
+	// load would be silently dropped on the vector path.
+	for _, ld := range loads {
+		if !usedLoads[ld] {
+			return false
+		}
+	}
+
+	// Registers defined in the body (other than the induction variable)
+	// must die at the end of the block: the vector path does not compute
+	// them, so no later code may observe their values.
+	liveOut := ir.Liveness(f)[body]
+	for _, in := range body.Code {
+		if in.Defines() && in.Dst != bound.indVar && liveOut[in.Dst] {
+			return false
+		}
+	}
+
+	// Preheader with an unconditional jump, as in guard motion.
+	f.RecomputePreds()
+	var pre *ir.Block
+	for _, p := range h.Preds {
+		if l.Blocks[p] {
+			continue
+		}
+		if pre != nil {
+			return false
+		}
+		pre = p
+	}
+	if pre == nil || pre.Term.Kind != ir.TermJump || pre.Term.To != h {
+		return false
+	}
+
+	emitVectorLoop(f, pre, h, bound, storeBase, src1, src2, constOp, arith.Op)
+	return true
+}
+
+// emitVectorLoop builds
+//
+//	pre:  ... ; vlimit = limit - (W-1) [- 1 for <=] ; jump VH
+//	VH:   vc = ind < vlimit ; branch vc ? VB : H
+//	VB:   vecarith dst,src1,ind[,src2|const] ; ind += W ; jump VH
+//
+// leaving the original loop as the scalar remainder.
+func emitVectorLoop(f *ir.Func, pre, h *ir.Block, bound loopBound,
+	dstArr, src1, src2 ir.Reg, constOp *rvm.Value, arithOp ir.Op) {
+
+	vh := f.NewBlock()
+	vb := f.NewBlock()
+
+	adjust := int64(ir.VectorWidth - 1)
+	if !bound.strict {
+		// i <= L safe through lane i+W-1 when i <= L-(W-1); normalize to
+		// strict compare i < L-(W-1)+1.
+		adjust = int64(ir.VectorWidth - 2)
+	}
+
+	vlimit := f.NewReg()
+	if bound.limit.base == ir.NoReg {
+		c := instr(ir.OpConst)
+		c.Dst = vlimit
+		c.Val = rvm.Int(bound.limit.off - adjust)
+		pre.Code = append(pre.Code, &c)
+	} else {
+		adjReg := f.NewReg()
+		c := instr(ir.OpConst)
+		c.Dst = adjReg
+		c.Val = rvm.Int(bound.limit.off - adjust)
+		sub := instr(ir.OpAdd)
+		sub.Dst = vlimit
+		sub.A = bound.limit.base
+		sub.B = adjReg
+		pre.Code = append(pre.Code, &c, &sub)
+	}
+	pre.Term = ir.Terminator{Kind: ir.TermJump, To: vh, Cond: ir.NoReg, Ret: ir.NoReg}
+
+	vcond := f.NewReg()
+	cmp := instr(ir.OpCmpLT)
+	cmp.Dst = vcond
+	cmp.A = bound.indVar
+	cmp.B = vlimit
+	vh.Code = append(vh.Code, &cmp)
+	vh.Term = ir.Terminator{Kind: ir.TermBranch, Cond: vcond, To: vb, Else: h, Ret: ir.NoReg}
+
+	vec := instr(ir.OpVecArith)
+	vec.Dst = dstArr
+	vec.A = src1
+	vec.B = bound.indVar
+	vec.C = src2
+	vec.ArithOp = arithOp
+	vec.ConstOperand = constOp
+	wReg := f.NewReg()
+	wc := instr(ir.OpConst)
+	wc.Dst = wReg
+	wc.Val = rvm.Int(ir.VectorWidth)
+	inc := instr(ir.OpAdd)
+	inc.Dst = bound.indVar
+	inc.A = bound.indVar
+	inc.B = wReg
+	vb.Code = append(vb.Code, &vec, &wc, &inc)
+	vb.Term = ir.Terminator{Kind: ir.TermJump, To: vh, Cond: ir.NoReg, Ret: ir.NoReg}
+}

@@ -1,0 +1,37 @@
+package opt
+
+import "renaissance/internal/rvm/ir"
+
+// MethodHandleSimplify implements §5.4: a polymorphic method-handle
+// invocation whose handle traces back to a single invokedynamic bootstrap
+// (a compile-time constant handle, "the first argument C is a constant
+// that represents the address of the method-handle in memory") is
+// rewritten into a direct static call. The inlining pass then inlines the
+// target, which "triggers other optimizations" as the paper describes for
+// the scrabble lambda bodies.
+func MethodHandleSimplify(f *ir.Func, prog *ir.Program) bool {
+	counts := ir.DefCounts(f)
+	sites := defSites(f, counts)
+
+	changed := false
+	for _, b := range f.Blocks {
+		for i, in := range b.Code {
+			if in.Op != ir.OpCallHandle {
+				continue
+			}
+			def := traceValue(f, counts, sites, b, i, in.A, 0)
+			if def == nil || def.Op != ir.OpMakeHandle {
+				continue
+			}
+			if _, ok := prog.Func(def.Sym); !ok {
+				continue
+			}
+			// Devirtualize: the handle constant names the exact target.
+			in.Op = ir.OpCallStatic
+			in.Sym = def.Sym
+			in.A = ir.NoReg
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,186 @@
+// Package rvm implements a small stack-bytecode virtual machine — the
+// "JVM substrate" of this reproduction. The paper's compiler experiments
+// (§5, §6, §7) were performed on HotSpot with the Graal JIT; Go has no JIT
+// to instrument, so the RVM provides the same experimental surface from
+// scratch: classes with virtual and interface dispatch, objects and
+// arrays, monitors, atomic compare-and-swap, method handles created by an
+// invokedynamic-style instruction, and guard-checked array accesses.
+//
+// Bytecode is the input format (produced by the minilang compiler and by
+// the kernel builders); the optimizing compiler in rvm/ir and rvm/opt
+// translates it to an IR, applies the paper's seven optimizations, and
+// executes it under a deterministic cycle cost model. The bytecode
+// interpreter in this package provides the reference semantics that the IR
+// execution is differentially tested against.
+package rvm
+
+import "fmt"
+
+// Kind discriminates runtime values.
+type Kind uint8
+
+// Value kinds. KindNull is the zero value, so freshly allocated field
+// slots, array elements, locals, and IR registers all read as null — the
+// same default in the bytecode interpreter and the IR executor (scalar
+// replacement relies on this agreement).
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindRef
+	KindHandle // method handle (resolved function reference)
+)
+
+// Value is a runtime value: a 64-bit integer, a float, an object
+// reference, a method handle, or null.
+type Value struct {
+	kind   Kind
+	i      int64
+	f      float64
+	ref    *Object
+	handle *Method
+}
+
+// Int constructs an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float constructs a float value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Ref constructs an object reference value.
+func Ref(o *Object) Value {
+	if o == nil {
+		return Null()
+	}
+	return Value{kind: KindRef, ref: o}
+}
+
+// Handle constructs a method-handle value.
+func Handle(m *Method) Value { return Value{kind: KindHandle, handle: m} }
+
+// Null constructs the null value.
+func Null() Value { return Value{kind: KindNull} }
+
+// Kind returns the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload (floats truncate; null is 0).
+func (v Value) AsInt() int64 {
+	switch v.kind {
+	case KindInt:
+		return v.i
+	case KindFloat:
+		return int64(v.f)
+	default:
+		return 0
+	}
+}
+
+// AsFloat returns the float payload (ints convert; null is 0).
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	default:
+		return 0
+	}
+}
+
+// AsRef returns the object reference, or nil.
+func (v Value) AsRef() *Object {
+	if v.kind == KindRef {
+		return v.ref
+	}
+	return nil
+}
+
+// AsHandle returns the method handle, or nil.
+func (v Value) AsHandle() *Method {
+	if v.kind == KindHandle {
+		return v.handle
+	}
+	return nil
+}
+
+// Truthy reports whether the value is considered true in branches.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	case KindRef:
+		return true
+	case KindHandle:
+		return v.handle != nil
+	default:
+		return false
+	}
+}
+
+// Equal compares two values for VM-level equality.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		// Numeric cross-kind comparison.
+		if (v.kind == KindInt || v.kind == KindFloat) && (o.kind == KindInt || o.kind == KindFloat) {
+			return v.AsFloat() == o.AsFloat()
+		}
+		return false
+	}
+	switch v.kind {
+	case KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f
+	case KindRef:
+		return v.ref == o.ref
+	case KindHandle:
+		return v.handle == o.handle
+	default:
+		return true // null == null
+	}
+}
+
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.i)
+	case KindFloat:
+		return fmt.Sprintf("%g", v.f)
+	case KindRef:
+		return fmt.Sprintf("ref(%s)", v.ref.Class.Name)
+	case KindHandle:
+		return fmt.Sprintf("handle(%s)", v.handle.QualifiedName())
+	default:
+		return "null"
+	}
+}
+
+// Object is a heap object: an instance of a class with field slots, or an
+// array (Class.IsArray with Elems).
+type Object struct {
+	Class  *Class
+	Fields []Value
+	Elems  []Value // arrays only
+	// monitor state for MonitorEnter/Exit (sequential semantics: a
+	// recursion counter; the cost model charges the atomic operations).
+	monitorDepth int
+}
+
+// NewObject allocates an instance of the class with zeroed (null) fields.
+func NewObject(c *Class) *Object {
+	return &Object{Class: c, Fields: make([]Value, len(c.FieldNames))}
+}
+
+// NewArray allocates an array object of length n.
+func NewArray(n int) *Object {
+	return &Object{Class: ArrayClass, Elems: make([]Value, n)}
+}
+
+// ArrayClass is the synthetic class of all arrays.
+var ArrayClass = &Class{Name: "[]", FieldNames: nil}

@@ -1,0 +1,385 @@
+// Package rx implements push-based observable streams in the style of
+// RxJava / Reactive Extensions, used by the rx-scrabble benchmark (Table 1:
+// "streaming"). An Observable pushes elements to its subscriber; operators
+// compose by wrapping the downstream observer. ObserveOn hands elements to
+// a scheduler worker, which introduces the cross-thread queueing and
+// parking that distinguish Rx pipelines from plain streams.
+package rx
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"renaissance/internal/metrics"
+)
+
+// ErrEmpty is returned by blocking terminal operations on empty observables.
+var ErrEmpty = errors.New("rx: empty observable")
+
+// An Observer receives the observable protocol. OnNext returns false to
+// cancel the subscription (the Rx "dispose" signal, folded into the push
+// path for simplicity).
+type Observer[T any] struct {
+	OnNext     func(T) bool
+	OnError    func(error)
+	OnComplete func()
+}
+
+// Observable is a lazy push stream of T.
+type Observable[T any] struct {
+	subscribe func(Observer[T])
+}
+
+// Create builds an observable from a raw subscribe function. Implementors
+// must honor OnNext's cancellation result and call OnComplete or OnError
+// exactly once.
+func Create[T any](subscribe func(Observer[T])) Observable[T] {
+	return Observable[T]{subscribe: subscribe}
+}
+
+// FromSlice emits the slice's elements and completes.
+func FromSlice[T any](xs []T) Observable[T] {
+	return Create(func(o Observer[T]) {
+		for _, x := range xs {
+			if !o.OnNext(x) {
+				return
+			}
+		}
+		o.OnComplete()
+	})
+}
+
+// Just emits the given elements and completes.
+func Just[T any](xs ...T) Observable[T] { return FromSlice(xs) }
+
+// Range emits the ints in [lo, hi).
+func Range(lo, hi int) Observable[int] {
+	return Create(func(o Observer[int]) {
+		for i := lo; i < hi; i++ {
+			if !o.OnNext(i) {
+				return
+			}
+		}
+		o.OnComplete()
+	})
+}
+
+// Map transforms each element.
+func Map[T, U any](src Observable[T], fn func(T) U) Observable[U] {
+	return Create(func(o Observer[U]) {
+		src.subscribe(Observer[T]{
+			OnNext: func(x T) bool {
+				metrics.IncIDynamic()
+				return o.OnNext(fn(x))
+			},
+			OnError:    o.OnError,
+			OnComplete: o.OnComplete,
+		})
+	})
+}
+
+// Filter keeps elements satisfying pred.
+func Filter[T any](src Observable[T], pred func(T) bool) Observable[T] {
+	return Create(func(o Observer[T]) {
+		src.subscribe(Observer[T]{
+			OnNext: func(x T) bool {
+				metrics.IncIDynamic()
+				if pred(x) {
+					return o.OnNext(x)
+				}
+				return true
+			},
+			OnError:    o.OnError,
+			OnComplete: o.OnComplete,
+		})
+	})
+}
+
+// FlatMap maps each element to an observable and concatenates the inner
+// sequences (concatMap semantics, which is what rx-scrabble's pipeline
+// relies on for determinism).
+func FlatMap[T, U any](src Observable[T], fn func(T) Observable[U]) Observable[U] {
+	return Create(func(o Observer[U]) {
+		cancelled := false
+		src.subscribe(Observer[T]{
+			OnNext: func(x T) bool {
+				metrics.IncIDynamic()
+				inner := fn(x)
+				innerDone := false
+				inner.subscribe(Observer[U]{
+					OnNext: func(u U) bool {
+						if !o.OnNext(u) {
+							cancelled = true
+							return false
+						}
+						return true
+					},
+					OnError: func(err error) {
+						cancelled = true
+						o.OnError(err)
+					},
+					OnComplete: func() { innerDone = true },
+				})
+				return innerDone && !cancelled
+			},
+			OnError: func(err error) {
+				if !cancelled {
+					o.OnError(err)
+				}
+			},
+			OnComplete: func() {
+				if !cancelled {
+					o.OnComplete()
+				}
+			},
+		})
+	})
+}
+
+// Take emits at most n elements.
+func Take[T any](src Observable[T], n int) Observable[T] {
+	return Create(func(o Observer[T]) {
+		if n <= 0 {
+			o.OnComplete()
+			return
+		}
+		remaining := n
+		done := false
+		src.subscribe(Observer[T]{
+			OnNext: func(x T) bool {
+				if !o.OnNext(x) {
+					done = true
+					return false
+				}
+				remaining--
+				if remaining == 0 {
+					done = true
+					o.OnComplete()
+					return false
+				}
+				return true
+			},
+			OnError: func(err error) {
+				if !done {
+					o.OnError(err)
+				}
+			},
+			OnComplete: func() {
+				if !done {
+					o.OnComplete()
+				}
+			},
+		})
+	})
+}
+
+// Scan emits the running fold of the source.
+func Scan[T, A any](src Observable[T], init A, fn func(A, T) A) Observable[A] {
+	return Create(func(o Observer[A]) {
+		acc := init
+		src.subscribe(Observer[T]{
+			OnNext: func(x T) bool {
+				metrics.IncIDynamic()
+				acc = fn(acc, x)
+				return o.OnNext(acc)
+			},
+			OnError:    o.OnError,
+			OnComplete: o.OnComplete,
+		})
+	})
+}
+
+// Reduce emits the final fold of the source as a single element.
+func Reduce[T, A any](src Observable[T], init A, fn func(A, T) A) Observable[A] {
+	return Create(func(o Observer[A]) {
+		acc := init
+		src.subscribe(Observer[T]{
+			OnNext: func(x T) bool {
+				metrics.IncIDynamic()
+				acc = fn(acc, x)
+				return true
+			},
+			OnError: o.OnError,
+			OnComplete: func() {
+				if o.OnNext(acc) {
+					o.OnComplete()
+				}
+			},
+		})
+	})
+}
+
+// Buffer groups consecutive elements into slices of size n (the last buffer
+// may be shorter).
+func Buffer[T any](src Observable[T], n int) Observable[[]T] {
+	return Create(func(o Observer[[]T]) {
+		metrics.IncArray()
+		buf := make([]T, 0, n)
+		cancelled := false
+		src.subscribe(Observer[T]{
+			OnNext: func(x T) bool {
+				buf = append(buf, x)
+				if len(buf) == n {
+					out := buf
+					metrics.IncArray()
+					buf = make([]T, 0, n)
+					if !o.OnNext(out) {
+						cancelled = true
+						return false
+					}
+				}
+				return true
+			},
+			OnError: o.OnError,
+			OnComplete: func() {
+				if cancelled {
+					return
+				}
+				if len(buf) > 0 && !o.OnNext(buf) {
+					return
+				}
+				o.OnComplete()
+			},
+		})
+	})
+}
+
+// Scheduler is a single worker goroutine executing queued actions in order,
+// the rx "event loop" scheduler.
+type Scheduler struct {
+	ch     chan func()
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// NewScheduler starts a scheduler worker.
+func NewScheduler() *Scheduler {
+	s := &Scheduler{ch: make(chan func(), 256)}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for fn := range s.ch {
+			fn()
+		}
+	}()
+	return s
+}
+
+// Schedule enqueues an action.
+func (s *Scheduler) Schedule(fn func()) {
+	metrics.IncAtomic()
+	s.ch <- fn
+}
+
+// Close drains and stops the scheduler.
+func (s *Scheduler) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	close(s.ch)
+	s.wg.Wait()
+}
+
+// ObserveOn delivers the source's signals on the scheduler's worker. The
+// resulting observable does not support cancellation mid-stream (its
+// OnNext result is ignored), matching the fire-and-forget delivery of an
+// Rx event loop.
+func ObserveOn[T any](src Observable[T], s *Scheduler) Observable[T] {
+	return Create(func(o Observer[T]) {
+		done := make(chan struct{})
+		src.subscribe(Observer[T]{
+			OnNext: func(x T) bool {
+				s.Schedule(func() { o.OnNext(x) })
+				return true
+			},
+			OnError: func(err error) {
+				s.Schedule(func() {
+					o.OnError(err)
+					close(done)
+				})
+			},
+			OnComplete: func() {
+				s.Schedule(func() {
+					o.OnComplete()
+					close(done)
+				})
+			},
+		})
+		metrics.IncPark()
+		<-done
+	})
+}
+
+// Subscribe drains the observable, invoking next for each element, and
+// returns the terminal error, if any.
+func (src Observable[T]) Subscribe(next func(T)) error {
+	var err error
+	src.subscribe(Observer[T]{
+		OnNext: func(x T) bool {
+			metrics.IncIDynamic()
+			next(x)
+			return true
+		},
+		OnError:    func(e error) { err = e },
+		OnComplete: func() {},
+	})
+	return err
+}
+
+// BlockingSlice collects all elements.
+func (src Observable[T]) BlockingSlice() ([]T, error) {
+	metrics.IncArray()
+	var out []T
+	err := src.Subscribe(func(x T) { out = append(out, x) })
+	return out, err
+}
+
+// BlockingFirst returns the first element.
+func (src Observable[T]) BlockingFirst() (T, error) {
+	var out T
+	found := false
+	var serr error
+	src.subscribe(Observer[T]{
+		OnNext: func(x T) bool {
+			out, found = x, true
+			return false
+		},
+		OnError:    func(e error) { serr = e },
+		OnComplete: func() {},
+	})
+	if serr != nil {
+		return out, serr
+	}
+	if !found {
+		return out, ErrEmpty
+	}
+	return out, nil
+}
+
+// BlockingLast returns the final element.
+func (src Observable[T]) BlockingLast() (T, error) {
+	var out T
+	found := false
+	var serr error
+	src.subscribe(Observer[T]{
+		OnNext: func(x T) bool {
+			out, found = x, true
+			return true
+		},
+		OnError:    func(e error) { serr = e },
+		OnComplete: func() {},
+	})
+	if serr != nil {
+		return out, serr
+	}
+	if !found {
+		return out, ErrEmpty
+	}
+	return out, nil
+}
+
+// Error returns an observable that immediately fails.
+func Error[T any](err error) Observable[T] {
+	return Create(func(o Observer[T]) { o.OnError(err) })
+}

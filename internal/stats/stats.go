@@ -1,0 +1,179 @@
+// Package stats provides the statistical machinery used by the paper's
+// evaluation (§6 and supplement §C/§G): descriptive statistics, geometric
+// means, winsorized outlier filtering, Welch's t-test with p-values, and
+// Student-t confidence intervals.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a statistic needs more observations
+// than were provided.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator).
+// It returns 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// non-positive values are skipped (matching the common benchmarking
+// convention of excluding zero measurements).
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Winsorize returns a copy of xs with values below the p-th percentile
+// raised to it and values above the (1-p)-th percentile lowered to it.
+// The paper applies winsorized filtering to remove outliers from the
+// optimization-impact measurements (supplement §C). p must be in [0, 0.5).
+func Winsorize(xs []float64, p float64) []float64 {
+	out := append([]float64(nil), xs...)
+	if len(out) == 0 || p <= 0 {
+		return out
+	}
+	if p >= 0.5 {
+		p = 0.499
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	lo := percentileSorted(s, p)
+	hi := percentileSorted(s, 1-p)
+	for i, x := range out {
+		if x < lo {
+			out[i] = lo
+		} else if x > hi {
+			out[i] = hi
+		}
+	}
+	return out
+}
+
+// Percentile returns the q-th percentile (q in [0,1]) of xs using linear
+// interpolation between closest ranks.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return percentileSorted(s, q)
+}
+
+func percentileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Summary bundles descriptive statistics of one sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	StdDev   float64
+	Min, Max float64
+	Median   float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		Median: Median(xs),
+	}
+}

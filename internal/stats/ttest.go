@@ -1,0 +1,175 @@
+package stats
+
+import "math"
+
+// TTestResult holds the outcome of Welch's two-sample t-test, as used for
+// the significance column of Tables 12–15 in the paper.
+type TTestResult struct {
+	T  float64 // t statistic
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// WelchTTest performs Welch's unequal-variances t-test on the two samples
+// and returns the two-sided p-value. The paper uses this test at
+// significance level α = 0.01 to decide whether an optimization's impact on
+// a benchmark is statistically significant.
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, ErrInsufficientData
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	sa, sb := va/na, vb/nb
+	se := math.Sqrt(sa + sb)
+	if se == 0 {
+		// Identical constant samples: no evidence of difference.
+		if ma == mb {
+			return TTestResult{T: 0, DF: na + nb - 2, P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(sign(ma - mb)), DF: na + nb - 2, P: 0}, nil
+	}
+	t := (ma - mb) / se
+	df := (sa + sb) * (sa + sb) / (sa*sa/(na-1) + sb*sb/(nb-1))
+	p := 2 * StudentTCDF(-math.Abs(t), df)
+	return TTestResult{T: t, DF: df, P: p}, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// StudentTCDF returns P(T <= t) for a Student-t distribution with df
+// degrees of freedom.
+func StudentTCDF(t, df float64) float64 {
+	if math.IsInf(t, -1) {
+		return 0
+	}
+	if math.IsInf(t, 1) {
+		return 1
+	}
+	// F(t) relates to the regularized incomplete beta function:
+	// for t >= 0, F(t) = 1 - I_x(df/2, 1/2)/2 with x = df/(df+t^2).
+	x := df / (df + t*t)
+	p := 0.5 * RegIncBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// StudentTQuantile returns the t value such that P(|T| <= t) = conf for a
+// Student-t distribution with df degrees of freedom (two-sided). It is used
+// to build the 99% confidence intervals of Figure 6.
+func StudentTQuantile(conf, df float64) float64 {
+	if conf <= 0 {
+		return 0
+	}
+	if conf >= 1 {
+		return math.Inf(1)
+	}
+	target := 1 - (1-conf)/2 // one-sided CDF target
+	lo, hi := 0.0, 1.0
+	for StudentTCDF(hi, df) < target {
+		hi *= 2
+		if hi > 1e9 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if StudentTCDF(mid, df) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// MeanCI returns the mean of xs and the half-width of its two-sided
+// confidence interval at the given confidence level.
+func MeanCI(xs []float64, conf float64) (mean, halfWidth float64, err error) {
+	if len(xs) < 2 {
+		return 0, 0, ErrInsufficientData
+	}
+	mean = Mean(xs)
+	se := StdDev(xs) / math.Sqrt(float64(len(xs)))
+	t := StudentTQuantile(conf, float64(len(xs)-1))
+	return mean, t * se, nil
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes style).
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(a*math.Log(x) + b*math.Log(1-x) - lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpMin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpMin {
+		d = fpMin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpMin {
+			d = fpMin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpMin {
+			c = fpMin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpMin {
+			d = fpMin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpMin {
+			c = fpMin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,297 @@
+// Package stm implements a TL2-style software transactional memory in the
+// spirit of ScalaSTM (Bronson et al.), used by the philosophers and
+// stm-bench7 benchmarks (Table 1: "STM, atomics, guarded blocks").
+//
+// Each transactional reference carries a versioned lock word manipulated
+// with compare-and-swap; transactions keep read and write sets, validate
+// reads against a global version clock, and commit by locking the write set
+// in a canonical order. Retry implements the guarded-block pattern: a
+// transaction that calls Retry blocks until some other transaction commits,
+// which maps onto the paper's wait/notify metrics.
+package stm
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"renaissance/internal/metrics"
+)
+
+// globalClock is the TL2 global version clock.
+var globalClock atomic.Int64
+
+// refIDs allocates unique reference identities for deadlock-free lock
+// ordering at commit time.
+var refIDs atomic.Uint64
+
+// retry broadcast: a generation channel closed on every commit.
+var (
+	retryMu sync.Mutex
+	retryCh = make(chan struct{})
+)
+
+func commitBroadcast() {
+	retryMu.Lock()
+	metrics.IncSynch()
+	close(retryCh)
+	retryCh = make(chan struct{})
+	retryMu.Unlock()
+	metrics.IncNotify()
+}
+
+func currentRetryGen() <-chan struct{} {
+	retryMu.Lock()
+	metrics.IncSynch()
+	ch := retryCh
+	retryMu.Unlock()
+	return ch
+}
+
+// A Ref is a transactional memory cell. The zero value is not usable;
+// create refs with NewRef.
+type Ref struct {
+	id uint64
+	// state packs (version << 1) | lockedBit.
+	state atomic.Int64
+	value atomic.Value
+}
+
+type box struct{ v any }
+
+// NewRef creates a transactional reference holding the initial value.
+func NewRef(initial any) *Ref {
+	metrics.IncObject()
+	r := &Ref{id: refIDs.Add(1)}
+	r.value.Store(box{initial})
+	return r
+}
+
+func (r *Ref) loadState() int64 {
+	metrics.IncAtomic()
+	return r.state.Load()
+}
+
+func stateVersion(s int64) int64 { return s >> 1 }
+func stateLocked(s int64) bool   { return s&1 == 1 }
+
+func (r *Ref) tryLock() (prev int64, ok bool) {
+	s := r.loadState()
+	if stateLocked(s) {
+		return s, false
+	}
+	metrics.IncAtomic()
+	return s, r.state.CompareAndSwap(s, s|1)
+}
+
+func (r *Ref) unlock(version int64) {
+	metrics.IncAtomic()
+	r.state.Store(version << 1)
+}
+
+// rawLoad reads the current value without transactional protection; used
+// internally after validation and by ReadAtomic.
+func (r *Ref) rawLoad() any {
+	metrics.IncAtomic()
+	return r.value.Load().(box).v
+}
+
+// errConflict aborts and restarts the enclosing transaction.
+var errConflict = errors.New("stm: conflict")
+
+// retrySignal makes Atomically block until another transaction commits.
+type retrySignal struct{}
+
+// Tx is an in-flight transaction. It must only be used by the function it
+// was passed to, on that goroutine.
+type Tx struct {
+	readVersion int64
+	reads       []readEntry
+	writes      map[*Ref]any
+	// Aborts counts how many times this transaction body was restarted.
+	Aborts int
+}
+
+type readEntry struct {
+	ref     *Ref
+	version int64
+}
+
+// Read returns the ref's value as seen by the transaction.
+func (tx *Tx) Read(r *Ref) any {
+	if v, written := tx.writes[r]; written {
+		return v
+	}
+	for spins := 0; ; spins++ {
+		s1 := r.loadState()
+		if !stateLocked(s1) {
+			v := r.rawLoad()
+			s2 := r.loadState()
+			if s1 == s2 {
+				if stateVersion(s1) > tx.readVersion {
+					panic(errConflict)
+				}
+				tx.reads = append(tx.reads, readEntry{r, stateVersion(s1)})
+				return v
+			}
+		}
+		if spins > 64 {
+			panic(errConflict)
+		}
+	}
+}
+
+// Write records a new value for the ref in the transaction's write set.
+func (tx *Tx) Write(r *Ref, v any) {
+	if tx.writes == nil {
+		tx.writes = make(map[*Ref]any, 4)
+	}
+	tx.writes[r] = v
+}
+
+// Retry abandons the transaction and blocks until another transaction
+// commits, then re-executes it — the STM guarded-block operation.
+func (tx *Tx) Retry() {
+	panic(retrySignal{})
+}
+
+// Atomically runs fn transactionally: fn may be executed several times, and
+// its STM effects take place all-or-nothing. A non-nil error from fn rolls
+// the transaction back and is returned.
+func Atomically(fn func(tx *Tx) error) error {
+	aborts := 0
+	for {
+		gen := currentRetryGen()
+		metrics.IncAtomic()
+		tx := &Tx{readVersion: globalClock.Load(), Aborts: aborts}
+		outcome, err := runAttempt(tx, fn)
+		switch outcome {
+		case attemptOK:
+			if err != nil {
+				return err // rolled back by discarding the write set
+			}
+			if tx.commit() {
+				return nil
+			}
+			aborts++
+		case attemptConflict:
+			aborts++
+		case attemptRetry:
+			metrics.IncWait()
+			metrics.IncPark()
+			<-gen
+			aborts++
+		}
+	}
+}
+
+type attemptOutcome int
+
+const (
+	attemptOK attemptOutcome = iota
+	attemptConflict
+	attemptRetry
+)
+
+func runAttempt(tx *Tx, fn func(tx *Tx) error) (outcome attemptOutcome, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			switch p {
+			case errConflict:
+				outcome = attemptConflict
+			default:
+				if _, isRetry := p.(retrySignal); isRetry {
+					outcome = attemptRetry
+					return
+				}
+				panic(p)
+			}
+		}
+	}()
+	err = fn(tx)
+	return attemptOK, err
+}
+
+// commit attempts the TL2 commit protocol; it reports success.
+func (tx *Tx) commit() bool {
+	if len(tx.writes) == 0 {
+		// Read-only transaction: reads were validated on the fly.
+		return true
+	}
+
+	// Lock the write set in id order to avoid deadlock.
+	locked := make([]*Ref, 0, len(tx.writes))
+	refs := make([]*Ref, 0, len(tx.writes))
+	for r := range tx.writes {
+		refs = append(refs, r)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].id < refs[j].id })
+	abort := func() {
+		for _, r := range locked {
+			prev := r.loadState()
+			r.unlock(stateVersion(prev))
+		}
+	}
+	for _, r := range refs {
+		prev, ok := r.tryLock()
+		if !ok || stateVersion(prev) > tx.readVersion {
+			if ok {
+				r.unlock(stateVersion(prev))
+			}
+			abort()
+			return false
+		}
+		locked = append(locked, r)
+	}
+
+	// Validate the read set.
+	for _, re := range tx.reads {
+		s := re.ref.loadState()
+		lockedByMe := false
+		if _, mine := tx.writes[re.ref]; mine {
+			lockedByMe = true
+		}
+		if stateVersion(s) != re.version || (stateLocked(s) && !lockedByMe) {
+			abort()
+			return false
+		}
+	}
+
+	// Publish.
+	metrics.IncAtomic()
+	wv := globalClock.Add(1)
+	for _, r := range refs {
+		metrics.IncAtomic()
+		r.value.Store(box{tx.writes[r]})
+		r.unlock(wv)
+	}
+	commitBroadcast()
+	return true
+}
+
+// ReadAtomic returns the ref's current committed value outside any
+// transaction (equivalent to a single-read transaction).
+func ReadAtomic(r *Ref) any {
+	for {
+		s1 := r.loadState()
+		if stateLocked(s1) {
+			continue
+		}
+		v := r.rawLoad()
+		if r.loadState() == s1 {
+			return v
+		}
+	}
+}
+
+// WriteAtomic sets the ref's value in a single-write transaction.
+func WriteAtomic(r *Ref, v any) {
+	_ = Atomically(func(tx *Tx) error {
+		tx.Write(r, v)
+		return nil
+	})
+}
+
+// Clock returns the current global version, exposed for tests and stats.
+func Clock() int64 { return globalClock.Load() }

@@ -1,0 +1,305 @@
+package streams
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicPipeline(t *testing.T) {
+	got := Map(Range(1, 11).Filter(func(x int) bool { return x%2 == 0 }),
+		func(x int) int { return x * x }).ToSlice()
+	want := []int{4, 16, 36, 64, 100}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("pipeline = %v, want %v", got, want)
+	}
+}
+
+func TestOfAndFromSlice(t *testing.T) {
+	if got := Of(1, 2, 3).Count(); got != 3 {
+		t.Errorf("Of count = %d", got)
+	}
+	xs := []string{"a", "b"}
+	if got := FromSlice(xs).ToSlice(); !reflect.DeepEqual(got, xs) {
+		t.Errorf("FromSlice = %v", got)
+	}
+	// Streams over slices are reusable.
+	s := FromSlice(xs)
+	if s.Count() != 2 || s.Count() != 2 {
+		t.Error("slice stream not reusable")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	got := Generate(4, func(i int) int { return i * 10 }).ToSlice()
+	if !reflect.DeepEqual(got, []int{0, 10, 20, 30}) {
+		t.Errorf("Generate = %v", got)
+	}
+}
+
+func TestLimitSkip(t *testing.T) {
+	if got := Range(0, 100).Limit(3).ToSlice(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("Limit = %v", got)
+	}
+	if got := Range(0, 5).Skip(3).ToSlice(); !reflect.DeepEqual(got, []int{3, 4}) {
+		t.Errorf("Skip = %v", got)
+	}
+	if got := Range(0, 3).Limit(0).Count(); got != 0 {
+		t.Errorf("Limit(0) = %d", got)
+	}
+	if got := Range(0, 3).Skip(10).Count(); got != 0 {
+		t.Errorf("Skip beyond end = %d", got)
+	}
+}
+
+func TestTakeWhile(t *testing.T) {
+	got := Range(0, 10).TakeWhile(func(x int) bool { return x < 4 }).ToSlice()
+	if !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Errorf("TakeWhile = %v", got)
+	}
+}
+
+func TestFlatMapLaziness(t *testing.T) {
+	calls := 0
+	s := FlatMap(Range(0, 1000), func(x int) Stream[int] {
+		calls++
+		return Of(x, x)
+	})
+	got := s.Limit(4).ToSlice()
+	if !reflect.DeepEqual(got, []int{0, 0, 1, 1}) {
+		t.Errorf("FlatMap = %v", got)
+	}
+	if calls > 3 {
+		t.Errorf("FlatMap evaluated %d inner streams; not lazy", calls)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	sum := Reduce(Range(1, 101), 0, func(a, x int) int { return a + x })
+	if sum != 5050 {
+		t.Errorf("Reduce sum = %d", sum)
+	}
+	concat := Reduce(Of("a", "b", "c"), "", func(a, x string) string { return a + x })
+	if concat != "abc" {
+		t.Errorf("Reduce concat = %q", concat)
+	}
+}
+
+func TestMatchAndFirst(t *testing.T) {
+	s := Range(0, 10)
+	if !s.AnyMatch(func(x int) bool { return x == 7 }) {
+		t.Error("AnyMatch(7) = false")
+	}
+	if s.AnyMatch(func(x int) bool { return x > 100 }) {
+		t.Error("AnyMatch(>100) = true")
+	}
+	if !s.AllMatch(func(x int) bool { return x < 10 }) {
+		t.Error("AllMatch(<10) = false")
+	}
+	if s.AllMatch(func(x int) bool { return x < 5 }) {
+		t.Error("AllMatch(<5) = true")
+	}
+	if v, ok := s.First(); !ok || v != 0 {
+		t.Errorf("First = (%d, %v)", v, ok)
+	}
+	if _, ok := Of[int]().First(); ok {
+		t.Error("First of empty stream found something")
+	}
+}
+
+func TestSorted(t *testing.T) {
+	got := Of(3, 1, 2).Sorted(func(a, b int) bool { return a < b }).ToSlice()
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Errorf("Sorted = %v", got)
+	}
+}
+
+func TestMaxBy(t *testing.T) {
+	words := Of("a", "abc", "ab")
+	w, ok := MaxBy(words, func(s string) int { return len(s) })
+	if !ok || w != "abc" {
+		t.Errorf("MaxBy = (%q, %v)", w, ok)
+	}
+	if _, ok := MaxBy(Of[string](), func(string) int { return 0 }); ok {
+		t.Error("MaxBy of empty stream found something")
+	}
+}
+
+func TestGroupByToMapDistinct(t *testing.T) {
+	words := Of("apple", "avocado", "banana", "blueberry", "cherry")
+	groups := GroupBy(words, func(s string) byte { return s[0] })
+	if len(groups['a']) != 2 || len(groups['b']) != 2 || len(groups['c']) != 1 {
+		t.Errorf("GroupBy = %v", groups)
+	}
+	m := ToMap(words, func(s string) string { return s }, func(s string) int { return len(s) })
+	if m["banana"] != 6 {
+		t.Errorf("ToMap = %v", m)
+	}
+	d := Distinct(Of(1, 2, 1, 3, 2)).ToSlice()
+	if !reflect.DeepEqual(d, []int{1, 2, 3}) {
+		t.Errorf("Distinct = %v", d)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var seen []int
+	_ = Range(0, 3).Peek(func(x int) { seen = append(seen, x) }).ToSlice()
+	if !reflect.DeepEqual(seen, []int{0, 1, 2}) {
+		t.Errorf("Peek saw %v", seen)
+	}
+}
+
+func TestWordHistogram(t *testing.T) {
+	// The scrabble benchmark's core shape: histogram of characters.
+	word := "benchmark"
+	hist := GroupBy(FromSlice([]rune(word)), func(r rune) rune { return r })
+	if len(hist['b']) != 1 || len(hist['e']) != 1 {
+		t.Errorf("hist = %v", hist)
+	}
+	total := 0
+	for _, g := range hist {
+		total += len(g)
+	}
+	if total != len(word) {
+		t.Errorf("histogram total = %d, want %d", total, len(word))
+	}
+}
+
+func TestParMap(t *testing.T) {
+	xs := make([]int, 1000)
+	for i := range xs {
+		xs[i] = i
+	}
+	got := ParMap(xs, 4, func(x int) int { return x * 2 })
+	for i, v := range got {
+		if v != i*2 {
+			t.Fatalf("ParMap[%d] = %d, want %d", i, v, i*2)
+		}
+	}
+	if got := ParMap([]int{}, 4, func(x int) int { return x }); len(got) != 0 {
+		t.Errorf("ParMap empty = %v", got)
+	}
+}
+
+func TestParReduce(t *testing.T) {
+	xs := make([]int, 10000)
+	for i := range xs {
+		xs[i] = 1
+	}
+	sum := ParReduce(xs, 8,
+		func() int { return 0 },
+		func(a, x int) int { return a + x },
+		func(a, b int) int { return a + b })
+	if sum != 10000 {
+		t.Errorf("ParReduce = %d", sum)
+	}
+}
+
+func TestParForEach(t *testing.T) {
+	xs := []int{1, 2, 3, 4, 5}
+	results := make([]int, len(xs))
+	idx := func(x int) int { return x - 1 }
+	ParForEach(xs, 3, func(x int) { results[idx(x)] = x * x })
+	if !reflect.DeepEqual(results, []int{1, 4, 9, 16, 25}) {
+		t.Errorf("ParForEach results = %v", results)
+	}
+}
+
+func TestSplitIndex(t *testing.T) {
+	cases := []struct {
+		n, k, chunks int
+	}{
+		{0, 4, 0}, {1, 4, 1}, {10, 3, 3}, {10, 10, 10}, {3, 10, 3},
+	}
+	for _, c := range cases {
+		chunks := splitIndex(c.n, c.k)
+		if len(chunks) != c.chunks {
+			t.Errorf("splitIndex(%d,%d) has %d chunks, want %d", c.n, c.k, len(chunks), c.chunks)
+		}
+		covered := 0
+		prev := 0
+		for _, ch := range chunks {
+			if ch[0] != prev {
+				t.Errorf("splitIndex(%d,%d) gap at %d", c.n, c.k, ch[0])
+			}
+			covered += ch[1] - ch[0]
+			prev = ch[1]
+		}
+		if covered != c.n {
+			t.Errorf("splitIndex(%d,%d) covers %d", c.n, c.k, covered)
+		}
+	}
+}
+
+// Property: ParMap equals sequential Map for arbitrary inputs and worker
+// counts.
+func TestPropertyParMapMatchesMap(t *testing.T) {
+	f := func(xs []int16, w uint8) bool {
+		workers := int(w%8) + 1
+		fn := func(x int16) int { return int(x) * 3 }
+		par := ParMap(xs, workers, fn)
+		seq := Map(FromSlice(xs), fn).ToSlice()
+		if len(par) != len(seq) {
+			return false
+		}
+		for i := range par {
+			if par[i] != seq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GroupBy preserves all elements.
+func TestPropertyGroupByPartition(t *testing.T) {
+	f := func(words []string) bool {
+		groups := GroupBy(FromSlice(words), func(s string) int { return len(s) })
+		total := 0
+		for l, g := range groups {
+			total += len(g)
+			for _, w := range g {
+				if len(w) != l {
+					return false
+				}
+			}
+		}
+		return total == len(words)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMnemonicsShape(t *testing.T) {
+	// The streams-mnemonics core: expanding digit strings through
+	// letter alternatives with FlatMap.
+	digitLetters := map[rune]string{'2': "ABC", '3': "DEF"}
+	expand := func(s Stream[string], digit rune) Stream[string] {
+		return FlatMap(s, func(prefix string) Stream[string] {
+			letters := digitLetters[digit]
+			out := make([]string, 0, len(letters))
+			for _, l := range letters {
+				out = append(out, prefix+string(l))
+			}
+			return FromSlice(out)
+		})
+	}
+	s := Of("")
+	for _, d := range "23" {
+		s = expand(s, d)
+	}
+	got := s.ToSlice()
+	if len(got) != 9 {
+		t.Fatalf("mnemonics count = %d, want 9", len(got))
+	}
+	sort.Strings(got)
+	if got[0] != "AD" || !strings.HasPrefix(got[8], "C") {
+		t.Errorf("mnemonics = %v", got)
+	}
+}

@@ -1,0 +1,37 @@
+# Build/verify entry points. `make check` is the gate every change must
+# pass: vet, build, the full test suite, and the race detector over the
+# packages with lock-free and sharded concurrent code (metrics, forkjoin,
+# stm), which ordinary `go test` does not exercise under -race.
+
+GO ?= go
+
+RACE_PKGS = ./internal/metrics ./internal/forkjoin ./internal/stm
+
+.PHONY: check vet build test race bench bench-contention analyze
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# Contention benchmarks: flat vs sharded recorder, mutex vs Chase–Lev
+# deque, at 1/2/4/8 virtual CPUs (see EXPERIMENTS.md "Profiler
+# perturbation").
+bench-contention:
+	$(GO) test -run '^$$' -bench 'Recorder|Snapshot' -cpu 1,2,4,8 ./internal/metrics
+	$(GO) test -run '^$$' -bench 'Deque' -cpu 1,2,4,8 ./internal/forkjoin
+
+bench:
+	$(GO) test -run '^$$' -bench . ./...
+
+analyze:
+	$(GO) run ./cmd/analyze all

@@ -81,8 +81,8 @@ func (s *System) Spawn(name string, r Receiver) *Ref {
 	}
 	metrics.IncObject() // the actor itself
 	ref := &Ref{sys: s, recv: r}
-	s.mu.Lock()
 	metrics.IncSynch()
+	s.mu.Lock()
 	if _, taken := s.actors[name]; taken {
 		name = fmt.Sprintf("%s-%d", name, s.nextID.Add(1))
 	}
@@ -94,8 +94,8 @@ func (s *System) Spawn(name string, r Receiver) *Ref {
 
 // Lookup returns the actor registered under name, if any.
 func (s *System) Lookup(name string) (*Ref, bool) {
-	s.mu.Lock()
 	metrics.IncSynch()
+	s.mu.Lock()
 	defer s.mu.Unlock()
 	ref, ok := s.actors[name]
 	return ref, ok
@@ -103,8 +103,8 @@ func (s *System) Lookup(name string) (*Ref, bool) {
 
 // ActorCount returns the number of live actors.
 func (s *System) ActorCount() int {
-	s.mu.Lock()
 	metrics.IncSynch()
+	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.actors)
 }
@@ -172,8 +172,8 @@ func (r *Ref) send(msg any, sender *Ref) {
 	metrics.IncAtomic()
 	r.sys.inFlight.Add(1)
 
-	r.mu.Lock()
 	metrics.IncSynch()
+	r.mu.Lock()
 	r.queue = append(r.queue, envelope{msg, sender})
 	r.mu.Unlock()
 
@@ -198,8 +198,8 @@ const batchSize = 64
 func (r *Ref) processBatch() {
 	processed := 0
 	for processed < batchSize {
-		r.mu.Lock()
 		metrics.IncSynch()
+		r.mu.Lock()
 		if len(r.queue) == 0 {
 			r.mu.Unlock()
 			break
@@ -221,8 +221,8 @@ func (r *Ref) processBatch() {
 	// raced in after the emptiness check).
 	r.state.Store(idle)
 	metrics.IncAtomic()
-	r.mu.Lock()
 	metrics.IncSynch()
+	r.mu.Lock()
 	pending := len(r.queue)
 	r.mu.Unlock()
 	if pending > 0 {
@@ -245,8 +245,8 @@ func (s *System) messageDone() {
 // queued messages are skipped (but still accounted).
 func (r *Ref) Stop() {
 	r.stopped.Store(true)
-	r.sys.mu.Lock()
 	metrics.IncSynch()
+	r.sys.mu.Lock()
 	delete(r.sys.actors, r.name)
 	r.sys.mu.Unlock()
 }

@@ -1,0 +1,246 @@
+package forkjoin
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"renaissance/internal/metrics"
+)
+
+// mutexDeque is the pre-Chase–Lev deque — a mutex around a slice, whose
+// steal path shifted the slice head. Kept here (test-only) as the
+// contention baseline: run
+//
+//	go test -run '^$' -bench 'Deque' -cpu 1,2,4,8 ./internal/forkjoin
+//
+// to compare owner throughput under steal pressure.
+type mutexDeque struct {
+	mu    sync.Mutex
+	tasks []*Task
+}
+
+func (d *mutexDeque) push(t *Task) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+func (d *mutexDeque) pop() *Task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.tasks)
+	if n == 0 {
+		return nil
+	}
+	t := d.tasks[n-1]
+	d.tasks = d.tasks[:n-1]
+	return t
+}
+
+func (d *mutexDeque) steal() *Task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return nil
+	}
+	t := d.tasks[0]
+	d.tasks = d.tasks[1:]
+	return t
+}
+
+func (d *mutexDeque) size() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(len(d.tasks))
+}
+
+func (d *deque) size() int64 {
+	return d.bottom.Load() - d.top.Load()
+}
+
+type benchDeque interface {
+	push(*Task)
+	pop() *Task
+	steal() *Task
+	size() int64
+}
+
+// benchOwnerUnderSteal measures the owner's push/pop throughput while
+// GOMAXPROCS-1 thieves hammer the steal side — the fork–join hot path
+// during work-stealing storms.
+func benchOwnerUnderSteal(b *testing.B, d benchDeque) {
+	thieves := runtime.GOMAXPROCS(0) - 1
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					d.steal()
+				}
+			}
+		}()
+	}
+	task := newTask(nil)
+	b.ResetTimer()
+	// Fork–join workers push bursts of subtasks and drain them; one
+	// benchmark op is one push + one pop, amortized over a burst.
+	const burst = 64
+	for i := 0; i < b.N; {
+		k := burst
+		if b.N-i < k {
+			k = b.N - i
+		}
+		for j := 0; j < k; j++ {
+			d.push(task)
+		}
+		for j := 0; j < k; j++ {
+			d.pop() // nil if a thief won the race; the op still completed
+		}
+		i += k
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}
+
+func BenchmarkDequeMutexOwnerUnderSteal(b *testing.B) {
+	benchOwnerUnderSteal(b, &mutexDeque{})
+}
+
+func BenchmarkDequeChaseLevOwnerUnderSteal(b *testing.B) {
+	benchOwnerUnderSteal(b, &deque{})
+}
+
+// benchStealThroughput measures aggregate steal throughput: one producer
+// keeps the deque stocked while every other P steals.
+func benchStealThroughput(b *testing.B, d benchDeque) {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // owner: keep the deque stocked but bounded
+		defer wg.Done()
+		task := newTask(nil)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if d.size() < 1024 {
+					d.push(task)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}
+	}()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			d.steal()
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}
+
+func BenchmarkDequeMutexStealThroughput(b *testing.B) {
+	benchStealThroughput(b, &mutexDeque{})
+}
+
+func BenchmarkDequeChaseLevStealThroughput(b *testing.B) {
+	benchStealThroughput(b, &deque{})
+}
+
+// The "as wired" pair compares the scheduler hot path as each version of
+// the system actually ran it: the seed pushed/popped under a mutex and
+// bumped the flat Default recorder's synch counter INSIDE the critical
+// section; the current code pushes/pops lock-free and bumps a shard-pinned
+// Local outside any critical section.
+type seedWiredDeque struct {
+	mu    sync.Mutex
+	tasks []*Task
+	// flat models the seed's Recorder: adjacent atomic slots in one array.
+	flat [11]atomic.Int64
+}
+
+func (d *seedWiredDeque) push(t *Task) {
+	d.mu.Lock()
+	d.flat[0].Add(1) // seed behaviour: bump synch while holding the lock
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+func (d *seedWiredDeque) pop() *Task {
+	d.mu.Lock()
+	d.flat[0].Add(1)
+	defer d.mu.Unlock()
+	n := len(d.tasks)
+	if n == 0 {
+		return nil
+	}
+	t := d.tasks[n-1]
+	d.tasks = d.tasks[:n-1]
+	return t
+}
+
+func (d *seedWiredDeque) steal() *Task {
+	d.mu.Lock()
+	d.flat[0].Add(1)
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return nil
+	}
+	t := d.tasks[0]
+	d.tasks = d.tasks[1:]
+	return t
+}
+
+func (d *seedWiredDeque) size() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(len(d.tasks))
+}
+
+// wiredChaseLev pairs the lock-free deque with the accounting the worker
+// loop performs around it: the owner bumps its shard-pinned Local, thieves
+// bump through the hashed path (each real thief worker has its own Local;
+// the hash spreads the bench's anonymous thieves across shards the same
+// way).
+type wiredChaseLev struct {
+	d   deque
+	loc metrics.Local
+}
+
+func (w *wiredChaseLev) push(t *Task) { w.loc.IncAtomic(); w.d.push(t) }
+func (w *wiredChaseLev) pop() *Task   { w.loc.IncAtomic(); return w.d.pop() }
+func (w *wiredChaseLev) steal() *Task { metrics.IncAtomic(); return w.d.steal() }
+func (w *wiredChaseLev) size() int64  { return w.d.size() }
+
+func BenchmarkDequeSeedWiredOwnerUnderSteal(b *testing.B) {
+	benchOwnerUnderSteal(b, &seedWiredDeque{})
+}
+
+func BenchmarkDequeShardedWiredOwnerUnderSteal(b *testing.B) {
+	benchOwnerUnderSteal(b, &wiredChaseLev{loc: metrics.Acquire()})
+}
+
+// End-to-end pool benchmark: recursive fork/join fib, the classic
+// work-stealing stress shape.
+func BenchmarkPoolFib(b *testing.B) {
+	p := NewPool(runtime.GOMAXPROCS(0))
+	defer p.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := p.Invoke(fibTask(15)).(int); got != 610 {
+			b.Fatalf("fib(15) = %d", got)
+		}
+	}
+}

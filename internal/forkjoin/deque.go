@@ -1,0 +1,133 @@
+// Chase–Lev lock-free work-stealing deque (Chase & Lev, SPAA 2005; memory
+// ordering per Lê et al., PPoPP 2013, conservatively realized with Go's
+// sequentially consistent atomics). The owner pushes and pops at the bottom
+// without locking; thieves steal from the top with a single CAS. This
+// replaces the earlier mutex-guarded slice deque, whose steal path shifted
+// the slice head (`tasks = tasks[1:]`) and thereby pinned every stolen task
+// in the backing array until the next reallocation.
+package forkjoin
+
+import "sync/atomic"
+
+// ring is a power-of-two circular array of task slots. Slots are accessed
+// atomically because a thief may read a slot while the owner writes a
+// neighbouring index; an index i lives at slots[i&mask].
+type ring struct {
+	mask  int64
+	slots []atomic.Pointer[Task]
+}
+
+func newRing(capacity int64) *ring {
+	return &ring{mask: capacity - 1, slots: make([]atomic.Pointer[Task], capacity)}
+}
+
+func (r *ring) cap() int64           { return r.mask + 1 }
+func (r *ring) get(i int64) *Task    { return r.slots[i&r.mask].Load() }
+func (r *ring) put(i int64, t *Task) { r.slots[i&r.mask].Store(t) }
+
+// grow returns a ring of twice the capacity holding the entries [top,
+// bottom). The old ring's slots are left intact: a thief racing with the
+// growth may still read index `top` from the old ring, and both rings hold
+// the same task there.
+func (r *ring) grow(top, bottom int64) *ring {
+	nr := newRing(2 * r.cap())
+	for i := top; i < bottom; i++ {
+		nr.put(i, r.get(i))
+	}
+	return nr
+}
+
+const initialDequeCap = 64
+
+// deque is the per-worker work-stealing deque. The zero value is ready to
+// use. push and pop may only be called by the owning worker; steal may be
+// called from any goroutine. top and bottom sit on separate cache lines so
+// that thieves hammering top do not invalidate the owner's line.
+type deque struct {
+	bottom atomic.Int64
+	_      [56]byte
+	top    atomic.Int64
+	_      [56]byte
+	arr    atomic.Pointer[ring]
+	// ownerTop is the owner's cached lower bound of top (top is
+	// monotone), refreshed only when the ring looks full: the common push
+	// does not read the thief-contended top line at all.
+	ownerTop int64
+}
+
+// push appends a task at the bottom (owner only).
+func (d *deque) push(t *Task) {
+	b := d.bottom.Load()
+	a := d.arr.Load()
+	if a == nil {
+		a = newRing(initialDequeCap)
+		d.arr.Store(a)
+	}
+	if b-d.ownerTop >= a.cap() {
+		d.ownerTop = d.top.Load()
+		if b-d.ownerTop >= a.cap() {
+			a = a.grow(d.ownerTop, b)
+			d.arr.Store(a)
+		}
+	}
+	a.put(b, t)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes and returns the most recently pushed task (owner only), or
+// nil if the deque is empty or the last task was lost to a racing thief.
+// Slots the owner wins are cleared so the popped task is not pinned by the
+// ring.
+func (d *deque) pop() *Task {
+	a := d.arr.Load()
+	if a == nil {
+		return nil
+	}
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore the canonical empty state (bottom == top).
+		d.bottom.Store(t)
+		return nil
+	}
+	task := a.get(b)
+	if t == b {
+		// Last element: race thieves for it with a CAS on top.
+		if !d.top.CompareAndSwap(t, t+1) {
+			task = nil // a thief got there first
+		}
+		d.bottom.Store(t + 1)
+		if task != nil {
+			a.put(b, nil)
+		}
+		return task
+	}
+	// t < b: thieves can no longer reach index b (any thief that reads
+	// top == b must then read bottom == b and give up), so the owner owns
+	// the slot outright and may clear it.
+	a.put(b, nil)
+	return task
+}
+
+// steal removes and returns the oldest task, or nil if the deque is empty
+// or the CAS lost a race (the caller moves on to the next victim). The won
+// slot is not cleared — only the owner may write slots, so a stolen task's
+// reference persists in the ring until that index is reused; the ring's
+// size is bounded, unlike the slice-shift steal this replaces.
+func (d *deque) steal() *Task {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	a := d.arr.Load()
+	if a == nil {
+		return nil
+	}
+	task := a.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return task
+}

@@ -2,9 +2,12 @@
 // work-stealing deques, in the style of the Java Fork/Join framework (Lea,
 // 2000) used by the fj-kmeans benchmark (Table 1: "task-parallel,
 // concurrent data structures"). Workers push forked tasks onto their own
-// deque (LIFO for locality) and steal from the front of other workers'
-// deques (FIFO), and joining workers help execute pending tasks instead of
-// blocking.
+// lock-free Chase–Lev deque (LIFO for locality) and steal from the top of
+// other workers' deques (FIFO) with a single CAS, and joining workers help
+// execute pending tasks instead of blocking. Each worker holds a
+// shard-pinned metrics.Local handle, so the scheduler's own accounting
+// never contends across workers and never executes inside a critical
+// section.
 package forkjoin
 
 import (
@@ -29,16 +32,15 @@ type Task struct {
 }
 
 func newTask(fn Fn) *Task {
-	metrics.IncObject()
 	return &Task{fn: fn, doneCh: make(chan struct{})}
 }
 
-func (t *Task) complete(v any) {
+func (t *Task) complete(v any, loc metrics.Local) {
 	t.result = v
-	metrics.IncAtomic()
+	loc.IncAtomic()
 	t.done.Store(true)
 	close(t.doneCh)
-	metrics.IncNotify()
+	loc.IncNotify()
 }
 
 // IsDone reports whether the task has completed.
@@ -50,45 +52,6 @@ func (t *Task) IsDone() bool {
 // Result returns the task result; it must only be called after the task is
 // known to be done.
 func (t *Task) Result() any { return t.result }
-
-// deque is a mutex-protected double-ended queue of tasks. The owner pops
-// from the back; thieves steal from the front.
-type deque struct {
-	mu    sync.Mutex
-	tasks []*Task
-}
-
-func (d *deque) push(t *Task) {
-	d.mu.Lock()
-	metrics.IncSynch()
-	d.tasks = append(d.tasks, t)
-	d.mu.Unlock()
-}
-
-func (d *deque) pop() *Task {
-	d.mu.Lock()
-	metrics.IncSynch()
-	defer d.mu.Unlock()
-	n := len(d.tasks)
-	if n == 0 {
-		return nil
-	}
-	t := d.tasks[n-1]
-	d.tasks = d.tasks[:n-1]
-	return t
-}
-
-func (d *deque) steal() *Task {
-	d.mu.Lock()
-	metrics.IncSynch()
-	defer d.mu.Unlock()
-	if len(d.tasks) == 0 {
-		return nil
-	}
-	t := d.tasks[0]
-	d.tasks = d.tasks[1:]
-	return t
-}
 
 // Pool is a fork-join pool with a fixed number of workers.
 type Pool struct {
@@ -110,6 +73,7 @@ type Worker struct {
 	index int
 	dq    deque
 	rng   *rand.Rand
+	local metrics.Local
 }
 
 // NewPool creates a pool with n workers (0 means GOMAXPROCS).
@@ -123,7 +87,12 @@ func NewPool(n int) *Pool {
 		done:   make(chan struct{}),
 	}
 	for i := 0; i < n; i++ {
-		w := &Worker{pool: p, index: i, rng: rand.New(rand.NewSource(int64(i)*7919 + 1))}
+		w := &Worker{
+			pool:  p,
+			index: i,
+			rng:   rand.New(rand.NewSource(int64(i)*7919 + 1)),
+			local: metrics.AcquireAt(i),
+		}
 		p.workers = append(p.workers, w)
 	}
 	for _, w := range p.workers {
@@ -155,6 +124,7 @@ func (p *Pool) wakeOne() {
 
 // Submit schedules a top-level task from outside the pool.
 func (p *Pool) Submit(fn Fn) *Task {
+	metrics.IncObject()
 	t := newTask(fn)
 	select {
 	case p.submit <- t:
@@ -192,12 +162,13 @@ func (w *Worker) run() {
 
 func (w *Worker) exec(t *Task) {
 	v := t.fn(w)
-	t.complete(v)
+	t.complete(v, w.local)
 }
 
 // findTask looks for work: own deque first, then the submission queue, then
 // stealing from a random victim (scanning all on failure).
 func (w *Worker) findTask() *Task {
+	w.local.IncAtomic()
 	if t := w.dq.pop(); t != nil {
 		return t
 	}
@@ -213,6 +184,7 @@ func (w *Worker) findTask() *Task {
 		if victim == w {
 			continue
 		}
+		w.local.IncAtomic()
 		if t := victim.dq.steal(); t != nil {
 			w.pool.Steals.Add(1)
 			return t
@@ -223,7 +195,9 @@ func (w *Worker) findTask() *Task {
 
 // Fork schedules fn as a subtask on the worker's own deque.
 func (w *Worker) Fork(fn Fn) *Task {
+	w.local.IncObject()
 	t := newTask(fn)
+	w.local.IncAtomic()
 	w.dq.push(t)
 	w.pool.wakeOne()
 	return t
@@ -233,14 +207,17 @@ func (w *Worker) Fork(fn Fn) *Task {
 // it waits (the fork-join "helping" discipline that avoids blocking worker
 // threads).
 func (w *Worker) Join(t *Task) any {
-	for !t.IsDone() {
+	for {
+		w.local.IncAtomic()
+		if t.done.Load() {
+			return t.result
+		}
 		if other := w.findTask(); other != nil {
 			w.exec(other)
 		} else {
 			runtime.Gosched()
 		}
 	}
-	return t.result
 }
 
 // Pool returns the worker's pool.

@@ -61,8 +61,8 @@ func (p *Promise[T]) complete(v T, err error) error {
 	p.once.Do(func() {
 		won = true
 		f := p.f
-		f.mu.Lock()
 		metrics.IncSynch()
+		f.mu.Lock()
 		f.value, f.err, f.completed = v, err, true
 		cbs := f.callbacks
 		f.callbacks = nil
@@ -84,8 +84,8 @@ func (p *Promise[T]) complete(v T, err error) error {
 // OnComplete registers a continuation invoked with the result; if the
 // future is already complete the continuation runs synchronously.
 func (f *Future[T]) OnComplete(cb func(T, error)) {
-	f.mu.Lock()
 	metrics.IncSynch()
+	f.mu.Lock()
 	if !f.completed {
 		f.callbacks = append(f.callbacks, cb)
 		f.mu.Unlock()
@@ -223,8 +223,8 @@ func Sequence[T any](fs []*Future[T]) *Future[[]T] {
 				_ = p.Failure(err)
 				return
 			}
-			mu.Lock()
 			metrics.IncSynch()
+			mu.Lock()
 			results[i] = v
 			remaining--
 			last := remaining == 0

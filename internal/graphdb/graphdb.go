@@ -102,8 +102,8 @@ func (t *Tx) CreateNode(label string, props map[string]any) (NodeID, error) {
 	if t.done {
 		return 0, ErrTxDone
 	}
-	t.g.mu.Lock()
 	metrics.IncSynch()
+	t.g.mu.Lock()
 	t.g.nextID++
 	id := t.g.nextID
 	t.g.mu.Unlock()
@@ -176,8 +176,8 @@ func (t *Tx) Commit() error {
 	}
 	t.done = true
 	g := t.g
-	g.mu.Lock()
 	metrics.IncSynch()
+	g.mu.Lock()
 	defer g.mu.Unlock()
 
 	// Validate every operation before applying any, so a failing
@@ -223,16 +223,16 @@ func cloneProps(props map[string]any) map[string]any {
 
 // NodeCount returns the number of nodes.
 func (g *Graph) NodeCount() int {
-	g.mu.RLock()
 	metrics.IncSynch()
+	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return len(g.nodes)
 }
 
 // GetNode returns a snapshot of the node.
 func (g *Graph) GetNode(id NodeID) (Node, bool) {
-	g.mu.RLock()
 	metrics.IncSynch()
+	g.mu.RLock()
 	defer g.mu.RUnlock()
 	n, ok := g.nodes[id]
 	if !ok {
@@ -243,8 +243,8 @@ func (g *Graph) GetNode(id NodeID) (Node, bool) {
 
 // ByLabel returns the IDs of all nodes with the label, ascending.
 func (g *Graph) ByLabel(label string) []NodeID {
-	g.mu.RLock()
 	metrics.IncSynch()
+	g.mu.RLock()
 	defer g.mu.RUnlock()
 	metrics.IncArray()
 	out := append([]NodeID(nil), g.byLabel[label]...)
@@ -265,8 +265,8 @@ const (
 // Neighbors returns the IDs reachable over one relationship of the given
 // type (empty type matches all) in the given direction.
 func (g *Graph) Neighbors(id NodeID, relType string, dir Direction) []NodeID {
-	g.mu.RLock()
 	metrics.IncSynch()
+	g.mu.RLock()
 	defer g.mu.RUnlock()
 	n, ok := g.nodes[id]
 	if !ok {
@@ -293,8 +293,8 @@ func (g *Graph) Neighbors(id NodeID, relType string, dir Direction) []NodeID {
 
 // Degree returns the number of relationships of the node in the direction.
 func (g *Graph) Degree(id NodeID, dir Direction) int {
-	g.mu.RLock()
 	metrics.IncSynch()
+	g.mu.RLock()
 	defer g.mu.RUnlock()
 	n, ok := g.nodes[id]
 	if !ok {
@@ -319,8 +319,8 @@ type MatchRow struct {
 // Match returns every (from:fromLabel)-[:relType]->(to:toLabel) triple;
 // empty strings are wildcards.
 func (g *Graph) Match(fromLabel, relType, toLabel string) []MatchRow {
-	g.mu.RLock()
 	metrics.IncSynch()
+	g.mu.RLock()
 	defer g.mu.RUnlock()
 	metrics.IncArray()
 	var out []MatchRow
@@ -355,8 +355,8 @@ func (g *Graph) ShortestPath(src, dst NodeID, relType string) int {
 	if src == dst {
 		return 0
 	}
-	g.mu.RLock()
 	metrics.IncSynch()
+	g.mu.RLock()
 	defer g.mu.RUnlock()
 	metrics.IncObject()
 	visited := map[NodeID]bool{src: true}
@@ -391,8 +391,8 @@ func (g *Graph) ShortestPath(src, dst NodeID, relType string) int {
 // AggregateByProp groups nodes of a label by a property value and counts
 // the group sizes — the analytical-query shape of neo4j-analytics.
 func (g *Graph) AggregateByProp(label, prop string) map[any]int {
-	g.mu.RLock()
 	metrics.IncSynch()
+	g.mu.RLock()
 	defer g.mu.RUnlock()
 	metrics.IncObject()
 	out := make(map[any]int)
@@ -408,8 +408,8 @@ func (g *Graph) AggregateByProp(label, prop string) map[any]int {
 // TopDegree returns the k nodes of the label with the highest total
 // degree, descending (ties by ascending ID).
 func (g *Graph) TopDegree(label string, k int) []NodeID {
-	g.mu.RLock()
 	metrics.IncSynch()
+	g.mu.RLock()
 	ids := append([]NodeID(nil), g.byLabel[label]...)
 	type scored struct {
 		id  NodeID

@@ -51,8 +51,8 @@ func (n *btreeNode) find(key string) (int, bool) {
 
 // Get implements Store.
 func (t *BTree) Get(key string) ([]byte, bool) {
-	t.mu.RLock()
 	metrics.IncSynch()
+	t.mu.RLock()
 	defer t.mu.RUnlock()
 	n := t.root
 	for {
@@ -69,8 +69,8 @@ func (t *BTree) Get(key string) ([]byte, bool) {
 
 // Put implements Store.
 func (t *BTree) Put(key string, value []byte) {
-	t.mu.Lock()
 	metrics.IncSynch()
+	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.root.keys) == btreeOrder {
 		// Split the root preemptively (top-down insertion).
@@ -151,8 +151,8 @@ func (t *BTree) insertNonFull(n *btreeNode, key string, value []byte) bool {
 // (no rebalancing), which keeps lookups correct and is a common
 // simplification for in-memory stores with mixed workloads.
 func (t *BTree) Delete(key string) bool {
-	t.mu.Lock()
 	metrics.IncSynch()
+	t.mu.Lock()
 	defer t.mu.Unlock()
 	n := t.root
 	for {
@@ -184,16 +184,16 @@ func (t *BTree) Delete(key string) bool {
 
 // Len implements Store.
 func (t *BTree) Len() int {
-	t.mu.RLock()
 	metrics.IncSynch()
+	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.size
 }
 
 // Range implements Store.
 func (t *BTree) Range(from, to string, fn func(string, []byte) bool) {
-	t.mu.RLock()
 	metrics.IncSynch()
+	t.mu.RLock()
 	defer t.mu.RUnlock()
 	t.root.rangeScan(from, to, fn)
 }

@@ -81,8 +81,8 @@ func (s *ShardedHash) shard(key string) *hashShard {
 // Put implements Store.
 func (s *ShardedHash) Put(key string, value []byte) {
 	sh := s.shard(key)
-	sh.mu.Lock()
 	metrics.IncSynch()
+	sh.mu.Lock()
 	sh.m[key] = value
 	sh.mu.Unlock()
 }
@@ -90,8 +90,8 @@ func (s *ShardedHash) Put(key string, value []byte) {
 // Get implements Store.
 func (s *ShardedHash) Get(key string) ([]byte, bool) {
 	sh := s.shard(key)
-	sh.mu.RLock()
 	metrics.IncSynch()
+	sh.mu.RLock()
 	v, ok := sh.m[key]
 	sh.mu.RUnlock()
 	return v, ok
@@ -100,8 +100,8 @@ func (s *ShardedHash) Get(key string) ([]byte, bool) {
 // Delete implements Store.
 func (s *ShardedHash) Delete(key string) bool {
 	sh := s.shard(key)
-	sh.mu.Lock()
 	metrics.IncSynch()
+	sh.mu.Lock()
 	_, ok := sh.m[key]
 	delete(sh.m, key)
 	sh.mu.Unlock()
@@ -113,8 +113,8 @@ func (s *ShardedHash) Len() int {
 	n := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
-		sh.mu.RLock()
 		metrics.IncSynch()
+		sh.mu.RLock()
 		n += len(sh.m)
 		sh.mu.RUnlock()
 	}
@@ -132,8 +132,8 @@ func (s *ShardedHash) Range(from, to string, fn func(string, []byte) bool) {
 	var matches []kv
 	for i := range s.shards {
 		sh := &s.shards[i]
-		sh.mu.RLock()
 		metrics.IncSynch()
+		sh.mu.RLock()
 		for k, v := range sh.m {
 			if k >= from && k < to {
 				matches = append(matches, kv{k, v})

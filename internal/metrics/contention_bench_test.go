@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// flatRecorder is the pre-sharding Recorder layout — eleven adjacent
+// atomic.Int64 slots in one array, i.e. all counters packed into two cache
+// lines. Kept here (test-only) as the contention baseline: run
+//
+//	go test -run '^$' -bench 'Recorder' -cpu 1,2,4,8 ./internal/metrics
+//
+// to compare it against the striped Recorder and the pinned Local path.
+type flatRecorder struct {
+	counts [NumMetrics]atomic.Int64
+}
+
+func (r *flatRecorder) add(m Metric, delta int64) { r.counts[m].Add(delta) }
+
+// Every goroutine bumps the same metric — pure same-line contention.
+func BenchmarkRecorderFlatSameMetric(b *testing.B) {
+	var r flatRecorder
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.add(Atomic, 1)
+		}
+	})
+}
+
+func BenchmarkRecorderShardedSameMetric(b *testing.B) {
+	var r Recorder
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Add(Atomic, 1)
+		}
+	})
+}
+
+func BenchmarkRecorderLocalSameMetric(b *testing.B) {
+	var r Recorder
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		loc := r.LocalAt(int(next.Add(1)))
+		for pb.Next() {
+			loc.IncAtomic()
+		}
+	})
+}
+
+// Each goroutine bumps a different metric — in the flat layout these are
+// adjacent slots of one array, so this measures false sharing; in the
+// striped layout every (shard, metric) lane has its own cache line.
+func BenchmarkRecorderFlatMixedMetrics(b *testing.B) {
+	var r flatRecorder
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		m := Metric(next.Add(1) % int64(NumMetrics))
+		for pb.Next() {
+			r.add(m, 1)
+		}
+	})
+}
+
+func BenchmarkRecorderShardedMixedMetrics(b *testing.B) {
+	var r Recorder
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		m := Metric(next.Add(1) % int64(NumMetrics))
+		for pb.Next() {
+			r.Add(m, 1)
+		}
+	})
+}
+
+func BenchmarkRecorderLocalMixedMetrics(b *testing.B) {
+	var r Recorder
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		i := next.Add(1)
+		loc := r.LocalAt(int(i))
+		m := Metric(i % int64(NumMetrics))
+		for pb.Next() {
+			loc.Add(m, 1)
+		}
+	})
+}
+
+// Snapshot cost while writers run (the profiler's read path).
+func BenchmarkSnapshotUnderWriters(b *testing.B) {
+	var r Recorder
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			loc := r.LocalAt(i)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					loc.IncAtomic()
+				}
+			}
+		}(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+	b.StopTimer()
+	close(stop)
+}

@@ -10,12 +10,31 @@
 // hardware counters. Here every substrate package (actors, stm, forkjoin,
 // rdd, ...) calls the Inc* functions at the corresponding primitive
 // operation, which keeps the instrumentation at the same abstraction
-// boundary with negligible perturbation (a single atomic add).
+// boundary with negligible perturbation.
+//
+// # Contention-free counters
+//
+// A Recorder is striped: it holds a power-of-two number of shards, and each
+// shard keeps every metric in its own 64-byte cache-line-padded lane. A
+// counter bump therefore never contends with a bump of a different metric
+// (no false sharing between adjacent counters) and rarely contends with the
+// same metric bumped by another goroutine (writers spread across shards via
+// a cheap per-goroutine hash). Reads — Get, Snapshot — sum across shards;
+// Reset clears every shard. Counts are exact, not sampled: every bump lands
+// in exactly one shard lane and every read sums all lanes.
+//
+// Code on a measured hot path can go one step further and acquire a Local
+// handle (Local or LocalAt), a recorder pinned to a single shard: the hash
+// is paid once at acquisition and each bump is a single uncontended atomic
+// add. The fork–join workers, the RDD partition tasks, and the STM commit
+// path use this.
 package metrics
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Metric identifies one of the characterizing metrics of Table 2.
@@ -64,36 +83,188 @@ func AllMetrics() []Metric {
 // to the sampled CPU utilization, which is a ratio).
 func (m Metric) Counted() bool { return m != CPU }
 
+// cacheLine is the assumed cache-line size; lanes are padded to it so that
+// no two counters ever share a line.
+const cacheLine = 64
+
+// maxShards bounds the stripe count (and therefore the size of the
+// zero-value Recorder, which embeds the full shard array so that it stays
+// ready to use without initialization).
+const maxShards = 64
+
+var (
+	numShards = computeShards()
+	shardMask = uint64(numShards - 1)
+)
+
+// computeShards picks a power-of-two stripe count of at least 8 and at
+// least the machine's parallelism, capped at maxShards.
+func computeShards() int {
+	n := runtime.NumCPU()
+	if g := runtime.GOMAXPROCS(0); g > n {
+		n = g
+	}
+	if n < 8 {
+		n = 8
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	return s
+}
+
+// NumShards returns the stripe count of every Recorder in this process.
+func NumShards() int { return numShards }
+
+// lane is one counter on its own cache line.
+type lane struct {
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// shard holds one padded lane per metric.
+type shard struct {
+	lanes [NumMetrics]lane
+}
+
+// shardIndex hashes the current goroutine's stack address to a shard.
+// Distinct goroutines occupy distinct stacks, so this spreads concurrent
+// writers across shards at the cost of a couple of ALU ops; the value is
+// not stable across stack growth, which is fine — any shard is correct,
+// the hash only reduces contention.
+func shardIndex() uint64 {
+	var probe byte
+	h := uint64(uintptr(unsafe.Pointer(&probe)))
+	h ^= h >> 17
+	h *= 0x9E3779B97F4A7C15
+	return (h >> 32) & shardMask
+}
+
 // A Recorder accumulates the event counters. The zero value is ready to use.
 // All methods are safe for concurrent use.
 type Recorder struct {
-	counts [NumMetrics]atomic.Int64
+	shards    [maxShards]shard
+	nextLocal atomic.Uint32
 }
 
 // Default is the process-wide recorder used by the substrate packages.
 var Default = &Recorder{}
 
 // Add adds delta occurrences of metric m.
-func (r *Recorder) Add(m Metric, delta int64) { r.counts[m].Add(delta) }
+func (r *Recorder) Add(m Metric, delta int64) {
+	r.shards[shardIndex()].lanes[m].v.Add(delta)
+}
 
-// Get returns the current count of metric m.
-func (r *Recorder) Get(m Metric) int64 { return r.counts[m].Load() }
+// Get returns the current count of metric m, summed across shards.
+func (r *Recorder) Get(m Metric) int64 {
+	var n int64
+	for i := 0; i < numShards; i++ {
+		n += r.shards[i].lanes[m].v.Load()
+	}
+	return n
+}
 
-// Reset zeroes every counter.
+// Reset zeroes every counter in every shard.
 func (r *Recorder) Reset() {
-	for i := range r.counts {
-		r.counts[i].Store(0)
+	for i := 0; i < numShards; i++ {
+		for m := range r.shards[i].lanes {
+			r.shards[i].lanes[m].v.Store(0)
+		}
 	}
 }
 
-// Snapshot captures the current value of every counter.
+// Snapshot captures the current value of every counter (each metric summed
+// across shards).
 func (r *Recorder) Snapshot() Snapshot {
 	var s Snapshot
-	for i := range r.counts {
-		s.Counts[i] = r.counts[i].Load()
+	for i := 0; i < numShards; i++ {
+		for m := range r.shards[i].lanes {
+			s.Counts[m] += r.shards[i].lanes[m].v.Load()
+		}
 	}
 	return s
 }
+
+// A Local is a Recorder handle pinned to one shard: bumps through it skip
+// the per-call shard hash and are a single atomic add on a cache line the
+// holder effectively owns. Acquire one per worker / task / transaction on
+// hot paths; do not share one Local across goroutines that bump heavily
+// (they would contend on the pinned shard — that is the only cost, counts
+// stay exact). The zero Local is not usable; acquire via Local, LocalAt,
+// Acquire, or AcquireAt.
+type Local struct {
+	sh *shard
+}
+
+// Local returns a handle pinned to the calling goroutine's hashed shard.
+func (r *Recorder) Local() Local {
+	return Local{&r.shards[shardIndex()]}
+}
+
+// LocalAt returns a handle pinned to stripe i mod NumShards — worker pools
+// use the worker index to spread workers deterministically across stripes.
+func (r *Recorder) LocalAt(i int) Local {
+	return Local{&r.shards[uint64(i)&shardMask]}
+}
+
+// Acquire returns a Local on the Default recorder for the calling
+// goroutine's hashed shard.
+func Acquire() Local { return Default.Local() }
+
+// AcquireAt returns a Local on the Default recorder pinned to stripe i.
+func AcquireAt(i int) Local { return Default.LocalAt(i) }
+
+// Add adds delta occurrences of metric m to the pinned shard.
+func (l Local) Add(m Metric, delta int64) { l.sh.lanes[m].v.Add(delta) }
+
+// IncSynch records entry into a synchronized (mutex-protected) section.
+func (l Local) IncSynch() { l.sh.lanes[Synch].v.Add(1) }
+
+// IncWait records a guarded-block wait (condition-variable wait).
+func (l Local) IncWait() { l.sh.lanes[Wait].v.Add(1) }
+
+// IncNotify records a notify/notifyAll (condition-variable signal).
+func (l Local) IncNotify() { l.sh.lanes[Notify].v.Add(1) }
+
+// IncAtomic records one atomic memory operation (CAS, fetch-add, ...).
+func (l Local) IncAtomic() { l.sh.lanes[Atomic].v.Add(1) }
+
+// AddAtomic records n atomic memory operations.
+func (l Local) AddAtomic(n int64) { l.sh.lanes[Atomic].v.Add(n) }
+
+// IncPark records a goroutine park.
+func (l Local) IncPark() { l.sh.lanes[Park].v.Add(1) }
+
+// IncObject records one object allocation.
+func (l Local) IncObject() { l.sh.lanes[Object].v.Add(1) }
+
+// AddObject records n object allocations.
+func (l Local) AddObject(n int64) { l.sh.lanes[Object].v.Add(n) }
+
+// IncArray records one array (slice) allocation.
+func (l Local) IncArray() { l.sh.lanes[Array].v.Add(1) }
+
+// AddArray records n array (slice) allocations.
+func (l Local) AddArray(n int64) { l.sh.lanes[Array].v.Add(n) }
+
+// IncMethod records one dynamically dispatched call.
+func (l Local) IncMethod() { l.sh.lanes[Method].v.Add(1) }
+
+// AddMethod records n dynamically dispatched calls.
+func (l Local) AddMethod(n int64) { l.sh.lanes[Method].v.Add(n) }
+
+// IncIDynamic records one invokedynamic analogue (closure dispatch).
+func (l Local) IncIDynamic() { l.sh.lanes[IDynamic].v.Add(1) }
+
+// AddIDynamic records n invokedynamic analogues.
+func (l Local) AddIDynamic(n int64) { l.sh.lanes[IDynamic].v.Add(n) }
+
+// AddCacheMiss records n simulated cache misses.
+func (l Local) AddCacheMiss(n int64) { l.sh.lanes[CacheMiss].v.Add(n) }
 
 // A Snapshot is a point-in-time copy of the counters.
 type Snapshot struct {
@@ -116,49 +287,49 @@ func (s Snapshot) Get(m Metric) int64 { return s.Counts[m] }
 // substrate packages call at their primitive operations.
 
 // IncSynch records entry into a synchronized (mutex-protected) section.
-func IncSynch() { Default.counts[Synch].Add(1) }
+func IncSynch() { Default.Add(Synch, 1) }
 
 // IncWait records a guarded-block wait (condition-variable wait).
-func IncWait() { Default.counts[Wait].Add(1) }
+func IncWait() { Default.Add(Wait, 1) }
 
 // IncNotify records a notify/notifyAll (condition-variable signal).
-func IncNotify() { Default.counts[Notify].Add(1) }
+func IncNotify() { Default.Add(Notify, 1) }
 
 // IncAtomic records one atomic memory operation (CAS, fetch-add, ...).
-func IncAtomic() { Default.counts[Atomic].Add(1) }
+func IncAtomic() { Default.Add(Atomic, 1) }
 
 // AddAtomic records n atomic memory operations.
-func AddAtomic(n int64) { Default.counts[Atomic].Add(n) }
+func AddAtomic(n int64) { Default.Add(Atomic, n) }
 
 // IncPark records a goroutine park (blocking channel receive used as a
 // scheduler park point, or semaphore-style blocking).
-func IncPark() { Default.counts[Park].Add(1) }
+func IncPark() { Default.Add(Park, 1) }
 
 // IncObject records one object allocation performed by a substrate.
-func IncObject() { Default.counts[Object].Add(1) }
+func IncObject() { Default.Add(Object, 1) }
 
 // AddObject records n object allocations.
-func AddObject(n int64) { Default.counts[Object].Add(n) }
+func AddObject(n int64) { Default.Add(Object, n) }
 
 // IncArray records one array (slice) allocation performed by a substrate.
-func IncArray() { Default.counts[Array].Add(1) }
+func IncArray() { Default.Add(Array, 1) }
 
 // AddArray records n array allocations.
-func AddArray(n int64) { Default.counts[Array].Add(n) }
+func AddArray(n int64) { Default.Add(Array, n) }
 
 // IncMethod records one dynamically dispatched call (virtual/interface).
-func IncMethod() { Default.counts[Method].Add(1) }
+func IncMethod() { Default.Add(Method, 1) }
 
 // AddMethod records n dynamically dispatched calls.
-func AddMethod(n int64) { Default.counts[Method].Add(n) }
+func AddMethod(n int64) { Default.Add(Method, n) }
 
 // IncIDynamic records one invokedynamic analogue: invoking a closure or
 // function value passed to a higher-order operation (map, filter, ...).
-func IncIDynamic() { Default.counts[IDynamic].Add(1) }
+func IncIDynamic() { Default.Add(IDynamic, 1) }
 
 // AddIDynamic records n invokedynamic analogues.
-func AddIDynamic(n int64) { Default.counts[IDynamic].Add(n) }
+func AddIDynamic(n int64) { Default.Add(IDynamic, n) }
 
 // AddCacheMiss records n simulated cache misses (used by the RVM cache
 // simulator and by the allocation-pressure proxy).
-func AddCacheMiss(n int64) { Default.counts[CacheMiss].Add(n) }
+func AddCacheMiss(n int64) { Default.Add(CacheMiss, n) }

@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestNumShardsSane(t *testing.T) {
+	n := NumShards()
+	if n < 8 || n > maxShards {
+		t.Fatalf("NumShards() = %d, want in [8, %d]", n, maxShards)
+	}
+	if n&(n-1) != 0 {
+		t.Fatalf("NumShards() = %d, not a power of two", n)
+	}
+	if g := runtime.GOMAXPROCS(0); n < g && n < maxShards {
+		t.Errorf("NumShards() = %d < GOMAXPROCS %d", n, g)
+	}
+}
+
+// No lost updates: heavy concurrent bumps over every metric from many
+// goroutines must sum exactly. Run with -race to also check the shard
+// plumbing is data-race free.
+func TestRecorderShardedStressExact(t *testing.T) {
+	var r Recorder
+	const workers = 16
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			loc := r.LocalAt(i) // half pinned ...
+			for j := 0; j < perWorker; j++ {
+				if i%2 == 0 {
+					loc.Add(Metric(j%int(NumMetrics)), 1)
+				} else {
+					r.Add(Metric(j%int(NumMetrics)), 1) // ... half hashed
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	var total int64
+	for _, m := range AllMetrics() {
+		total += r.Get(m)
+	}
+	if want := int64(workers * perWorker); total != want {
+		t.Fatalf("lost updates: total = %d, want %d", total, want)
+	}
+}
+
+// Sequential snapshots taken while writers only increment must be
+// monotonically non-decreasing per metric, and the final snapshot after all
+// writers join must be exact — the linearization contract of Snapshot/Delta
+// under concurrent writers.
+func TestSnapshotMonotonicUnderWriters(t *testing.T) {
+	var r Recorder
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			loc := r.LocalAt(i)
+			for j := 0; j < perWorker; j++ {
+				loc.IncAtomic()
+			}
+		}(i)
+	}
+	prev := int64(0)
+	for k := 0; k < 100; k++ {
+		s := r.Snapshot()
+		got := s.Get(Atomic)
+		if got < prev {
+			t.Fatalf("snapshot %d went backwards: %d -> %d", k, prev, got)
+		}
+		if got > workers*perWorker {
+			t.Fatalf("snapshot %d overshoots: %d > %d", k, got, workers*perWorker)
+		}
+		prev = got
+	}
+	wg.Wait()
+	if got := r.Get(Atomic); got != workers*perWorker {
+		t.Fatalf("final count = %d, want %d", got, workers*perWorker)
+	}
+	// Delta over the quiesced recorder against an empty baseline is exact.
+	d := r.Snapshot().Delta(Snapshot{})
+	if d.Get(Atomic) != workers*perWorker {
+		t.Fatalf("delta = %d, want %d", d.Get(Atomic), workers*perWorker)
+	}
+}
+
+func TestResetClearsAllShards(t *testing.T) {
+	var r Recorder
+	for i := 0; i < NumShards(); i++ {
+		r.LocalAt(i).IncObject()
+	}
+	if got := r.Get(Object); got != int64(NumShards()) {
+		t.Fatalf("pre-reset count = %d, want %d", got, NumShards())
+	}
+	r.Reset()
+	for _, m := range AllMetrics() {
+		if got := r.Get(m); got != 0 {
+			t.Fatalf("after Reset, Get(%v) = %d", m, got)
+		}
+	}
+}
+
+// Local handles pinned to different stripes must aggregate into the same
+// totals as the hashed path.
+func TestLocalAggregatesAcrossShards(t *testing.T) {
+	var r Recorder
+	a := r.LocalAt(0)
+	b := r.LocalAt(1)
+	a.IncSynch()
+	a.AddMethod(3)
+	b.IncSynch()
+	b.AddCacheMiss(7)
+	if got := r.Get(Synch); got != 2 {
+		t.Errorf("Get(Synch) = %d, want 2", got)
+	}
+	if got := r.Get(Method); got != 3 {
+		t.Errorf("Get(Method) = %d, want 3", got)
+	}
+	if got := r.Get(CacheMiss); got != 7 {
+		t.Errorf("Get(CacheMiss) = %d, want 7", got)
+	}
+	s := r.Snapshot()
+	if s.Get(Synch) != 2 || s.Get(Method) != 3 || s.Get(CacheMiss) != 7 {
+		t.Errorf("snapshot disagrees with Get: %+v", s.Counts)
+	}
+}
+
+func TestLocalWrapperParity(t *testing.T) {
+	var r Recorder
+	loc := r.Local()
+	loc.IncSynch()
+	loc.IncWait()
+	loc.IncNotify()
+	loc.IncAtomic()
+	loc.AddAtomic(2)
+	loc.IncPark()
+	loc.IncObject()
+	loc.AddObject(2)
+	loc.IncArray()
+	loc.AddArray(3)
+	loc.IncMethod()
+	loc.AddMethod(4)
+	loc.IncIDynamic()
+	loc.AddIDynamic(5)
+	loc.AddCacheMiss(7)
+	want := map[Metric]int64{
+		Synch: 1, Wait: 1, Notify: 1, Atomic: 3, Park: 1,
+		Object: 3, Array: 4, Method: 5, IDynamic: 6, CacheMiss: 7,
+	}
+	for m, w := range want {
+		if got := r.Get(m); got != w {
+			t.Errorf("Get(%v) = %d, want %d", m, got, w)
+		}
+	}
+}
+
+// The acceptance contract: counts are exact, not sampled. A deterministic
+// workload replayed against a fresh recorder produces identical Delta
+// totals every time.
+func TestDeterministicWorkloadExactDelta(t *testing.T) {
+	run := func() Snapshot {
+		var r Recorder
+		before := r.Snapshot()
+		for i := 0; i < 1000; i++ {
+			r.Add(Synch, 1)
+			r.Add(Atomic, 2)
+			if i%10 == 0 {
+				r.Add(Object, 1)
+			}
+		}
+		return r.Snapshot().Delta(before)
+	}
+	first := run()
+	if first.Get(Synch) != 1000 || first.Get(Atomic) != 2000 || first.Get(Object) != 100 {
+		t.Fatalf("unexpected totals: %+v", first.Counts)
+	}
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, got.Counts, first.Counts)
+		}
+	}
+}

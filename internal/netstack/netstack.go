@@ -121,8 +121,8 @@ func (s *Server) serveConn(conn net.Conn) {
 			if err != nil {
 				resp = append([]byte("ERR:"), err.Error()...)
 			}
-			writeMu.Lock()
 			metrics.IncSynch()
+			writeMu.Lock()
 			defer writeMu.Unlock()
 			_ = writeFrame(conn, resp)
 		})

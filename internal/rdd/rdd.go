@@ -102,10 +102,14 @@ func Map[T, U any](r *RDD[T], fn func(T) U) *RDD[U] {
 		numPartitions: r.numPartitions,
 		compute: func(p int) []U {
 			in := r.partition(p)
-			metrics.IncArray()
+			// One shard-pinned handle per partition task: the per-element
+			// closure-dispatch bumps below are the engine's hottest
+			// instrumentation path.
+			loc := metrics.Acquire()
+			loc.IncArray()
 			out := make([]U, len(in))
 			for i, x := range in {
-				metrics.IncIDynamic()
+				loc.IncIDynamic()
 				out[i] = fn(x)
 			}
 			return out
@@ -120,10 +124,11 @@ func (r *RDD[T]) Filter(pred func(T) bool) *RDD[T] {
 		numPartitions: r.numPartitions,
 		compute: func(p int) []T {
 			in := r.partition(p)
-			metrics.IncArray()
+			loc := metrics.Acquire()
+			loc.IncArray()
 			out := make([]T, 0, len(in))
 			for _, x := range in {
-				metrics.IncIDynamic()
+				loc.IncIDynamic()
 				if pred(x) {
 					out = append(out, x)
 				}
@@ -140,10 +145,11 @@ func FlatMap[T, U any](r *RDD[T], fn func(T) []U) *RDD[U] {
 		numPartitions: r.numPartitions,
 		compute: func(p int) []U {
 			in := r.partition(p)
-			metrics.IncArray()
+			loc := metrics.Acquire()
+			loc.IncArray()
 			var out []U
 			for _, x := range in {
-				metrics.IncIDynamic()
+				loc.IncIDynamic()
 				out = append(out, fn(x)...)
 			}
 			return out
@@ -220,10 +226,11 @@ func Aggregate[T, A any](r *RDD[T], zero func() A, seqOp func(A, T) A, combOp fu
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			metrics.IncIDynamic()
+			loc := metrics.Acquire()
+			loc.IncIDynamic()
 			acc := zero()
 			for _, x := range r.partition(p) {
-				metrics.IncIDynamic()
+				loc.IncIDynamic()
 				acc = seqOp(acc, x)
 			}
 			partials[p] = acc
@@ -299,7 +306,8 @@ func shuffle[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) [][]Pai
 		go func(p int) {
 			defer wg.Done()
 			// Stage pairs locally per bucket to shorten critical sections.
-			metrics.IncArray()
+			loc := metrics.Acquire()
+			loc.IncArray()
 			local := make([][]Pair[K, V], numPartitions)
 			for _, kv := range r.partition(p) {
 				b := hashKey(kv.Key, numPartitions)
@@ -309,8 +317,9 @@ func shuffle[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) [][]Pai
 				if len(pairs) == 0 {
 					continue
 				}
+				// Bump before acquiring so the hold time stays minimal.
+				loc.IncSynch()
 				locks[b].Lock()
-				metrics.IncSynch()
 				buckets[b] = append(buckets[b], pairs...)
 				locks[b].Unlock()
 			}
@@ -334,11 +343,12 @@ func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int, fn 
 		numPartitions: numPartitions,
 		compute: func(p int) []Pair[K, V] {
 			once.Do(func() { buckets = shuffle(r, numPartitions) })
-			metrics.IncObject()
+			loc := metrics.Acquire()
+			loc.IncObject()
 			agg := make(map[K]V)
 			for _, kv := range buckets[p] {
 				if old, ok := agg[kv.Key]; ok {
-					metrics.IncIDynamic()
+					loc.IncIDynamic()
 					agg[kv.Key] = fn(old, kv.Value)
 				} else {
 					agg[kv.Key] = kv.Value

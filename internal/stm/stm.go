@@ -8,6 +8,14 @@
 // in a canonical order. Retry implements the guarded-block pattern: a
 // transaction that calls Retry blocks until some other transaction commits,
 // which maps onto the paper's wait/notify metrics.
+//
+// Contention notes: the global version clock lives on its own cache line so
+// that commit-time fetch-adds do not false-share with neighbouring package
+// state, and it is only advanced by read-write commits — read-only
+// transactions observe it but never write it. Each transaction acquires a
+// shard-pinned metrics.Local once, so per-operation instrumentation is a
+// single uncontended atomic add, and no metric bump happens while any lock
+// is held.
 package stm
 
 import (
@@ -19,8 +27,14 @@ import (
 	"renaissance/internal/metrics"
 )
 
-// globalClock is the TL2 global version clock.
-var globalClock atomic.Int64
+// globalClock is the TL2 global version clock, padded to a cache line of
+// its own: every read-write commit fetch-adds it, and sharing a line with
+// other hot package state would couple their costs.
+var globalClock struct {
+	_ [64]byte
+	v atomic.Int64
+	_ [56]byte
+}
 
 // refIDs allocates unique reference identities for deadlock-free lock
 // ordering at commit time.
@@ -32,18 +46,18 @@ var (
 	retryCh = make(chan struct{})
 )
 
-func commitBroadcast() {
+func commitBroadcast(loc metrics.Local) {
+	loc.IncSynch()
 	retryMu.Lock()
-	metrics.IncSynch()
 	close(retryCh)
 	retryCh = make(chan struct{})
 	retryMu.Unlock()
-	metrics.IncNotify()
+	loc.IncNotify()
 }
 
-func currentRetryGen() <-chan struct{} {
+func currentRetryGen(loc metrics.Local) <-chan struct{} {
+	loc.IncSynch()
 	retryMu.Lock()
-	metrics.IncSynch()
 	ch := retryCh
 	retryMu.Unlock()
 	return ch
@@ -68,32 +82,32 @@ func NewRef(initial any) *Ref {
 	return r
 }
 
-func (r *Ref) loadState() int64 {
-	metrics.IncAtomic()
+func (r *Ref) loadState(loc metrics.Local) int64 {
+	loc.IncAtomic()
 	return r.state.Load()
 }
 
 func stateVersion(s int64) int64 { return s >> 1 }
 func stateLocked(s int64) bool   { return s&1 == 1 }
 
-func (r *Ref) tryLock() (prev int64, ok bool) {
-	s := r.loadState()
+func (r *Ref) tryLock(loc metrics.Local) (prev int64, ok bool) {
+	s := r.loadState(loc)
 	if stateLocked(s) {
 		return s, false
 	}
-	metrics.IncAtomic()
+	loc.IncAtomic()
 	return s, r.state.CompareAndSwap(s, s|1)
 }
 
-func (r *Ref) unlock(version int64) {
-	metrics.IncAtomic()
+func (r *Ref) unlock(loc metrics.Local, version int64) {
+	loc.IncAtomic()
 	r.state.Store(version << 1)
 }
 
 // rawLoad reads the current value without transactional protection; used
 // internally after validation and by ReadAtomic.
-func (r *Ref) rawLoad() any {
-	metrics.IncAtomic()
+func (r *Ref) rawLoad(loc metrics.Local) any {
+	loc.IncAtomic()
 	return r.value.Load().(box).v
 }
 
@@ -109,6 +123,7 @@ type Tx struct {
 	readVersion int64
 	reads       []readEntry
 	writes      map[*Ref]any
+	loc         metrics.Local
 	// Aborts counts how many times this transaction body was restarted.
 	Aborts int
 }
@@ -124,10 +139,10 @@ func (tx *Tx) Read(r *Ref) any {
 		return v
 	}
 	for spins := 0; ; spins++ {
-		s1 := r.loadState()
+		s1 := r.loadState(tx.loc)
 		if !stateLocked(s1) {
-			v := r.rawLoad()
-			s2 := r.loadState()
+			v := r.rawLoad(tx.loc)
+			s2 := r.loadState(tx.loc)
 			if s1 == s2 {
 				if stateVersion(s1) > tx.readVersion {
 					panic(errConflict)
@@ -160,11 +175,12 @@ func (tx *Tx) Retry() {
 // its STM effects take place all-or-nothing. A non-nil error from fn rolls
 // the transaction back and is returned.
 func Atomically(fn func(tx *Tx) error) error {
+	loc := metrics.Acquire()
 	aborts := 0
 	for {
-		gen := currentRetryGen()
-		metrics.IncAtomic()
-		tx := &Tx{readVersion: globalClock.Load(), Aborts: aborts}
+		gen := currentRetryGen(loc)
+		loc.IncAtomic()
+		tx := &Tx{readVersion: globalClock.v.Load(), loc: loc, Aborts: aborts}
 		outcome, err := runAttempt(tx, fn)
 		switch outcome {
 		case attemptOK:
@@ -178,8 +194,8 @@ func Atomically(fn func(tx *Tx) error) error {
 		case attemptConflict:
 			aborts++
 		case attemptRetry:
-			metrics.IncWait()
-			metrics.IncPark()
+			loc.IncWait()
+			loc.IncPark()
 			<-gen
 			aborts++
 		}
@@ -213,7 +229,9 @@ func runAttempt(tx *Tx, fn func(tx *Tx) error) (outcome attemptOutcome, err erro
 	return attemptOK, err
 }
 
-// commit attempts the TL2 commit protocol; it reports success.
+// commit attempts the TL2 commit protocol; it reports success. Only
+// read-write transactions advance the global clock: a read-only commit
+// validated its reads on the fly and returns without touching shared state.
 func (tx *Tx) commit() bool {
 	if len(tx.writes) == 0 {
 		// Read-only transaction: reads were validated on the fly.
@@ -229,15 +247,15 @@ func (tx *Tx) commit() bool {
 	sort.Slice(refs, func(i, j int) bool { return refs[i].id < refs[j].id })
 	abort := func() {
 		for _, r := range locked {
-			prev := r.loadState()
-			r.unlock(stateVersion(prev))
+			prev := r.loadState(tx.loc)
+			r.unlock(tx.loc, stateVersion(prev))
 		}
 	}
 	for _, r := range refs {
-		prev, ok := r.tryLock()
+		prev, ok := r.tryLock(tx.loc)
 		if !ok || stateVersion(prev) > tx.readVersion {
 			if ok {
-				r.unlock(stateVersion(prev))
+				r.unlock(tx.loc, stateVersion(prev))
 			}
 			abort()
 			return false
@@ -247,7 +265,7 @@ func (tx *Tx) commit() bool {
 
 	// Validate the read set.
 	for _, re := range tx.reads {
-		s := re.ref.loadState()
+		s := re.ref.loadState(tx.loc)
 		lockedByMe := false
 		if _, mine := tx.writes[re.ref]; mine {
 			lockedByMe = true
@@ -259,27 +277,28 @@ func (tx *Tx) commit() bool {
 	}
 
 	// Publish.
-	metrics.IncAtomic()
-	wv := globalClock.Add(1)
+	tx.loc.IncAtomic()
+	wv := globalClock.v.Add(1)
 	for _, r := range refs {
-		metrics.IncAtomic()
+		tx.loc.IncAtomic()
 		r.value.Store(box{tx.writes[r]})
-		r.unlock(wv)
+		r.unlock(tx.loc, wv)
 	}
-	commitBroadcast()
+	commitBroadcast(tx.loc)
 	return true
 }
 
 // ReadAtomic returns the ref's current committed value outside any
 // transaction (equivalent to a single-read transaction).
 func ReadAtomic(r *Ref) any {
+	loc := metrics.Acquire()
 	for {
-		s1 := r.loadState()
+		s1 := r.loadState(loc)
 		if stateLocked(s1) {
 			continue
 		}
-		v := r.rawLoad()
-		if r.loadState() == s1 {
+		v := r.rawLoad(loc)
+		if r.loadState(loc) == s1 {
 			return v
 		}
 	}
@@ -294,4 +313,4 @@ func WriteAtomic(r *Ref, v any) {
 }
 
 // Clock returns the current global version, exposed for tests and stats.
-func Clock() int64 { return globalClock.Load() }
+func Clock() int64 { return globalClock.v.Load() }

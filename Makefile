@@ -5,9 +5,15 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/metrics ./internal/forkjoin ./internal/stm
+RACE_PKGS = ./internal/metrics ./internal/forkjoin ./internal/stm ./internal/core ./internal/netstack ./internal/futures
 
-.PHONY: check vet build test race bench bench-contention analyze
+# The fault-tolerance tests: harness panic/timeout isolation, netstack
+# drain/close, client retry and close races. `make stress` shakes them
+# under the race detector repeatedly to catch rare interleavings.
+STRESS_RUN = 'Close|Drain|Timeout|Race|Panic|Retry|Fault|Discard'
+STRESS_PKGS = ./internal/core ./internal/netstack ./internal/futures
+
+.PHONY: check vet build test race stress bench bench-contention analyze
 
 check: vet build test race
 
@@ -22,6 +28,9 @@ test:
 
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
+
+stress:
+	$(GO) test -race -count=5 -run $(STRESS_RUN) $(STRESS_PKGS)
 
 # Contention benchmarks: flat vs sharded recorder, mutex vs Chase–Lev
 # deque, at 1/2/4/8 virtual CPUs (see EXPERIMENTS.md "Profiler

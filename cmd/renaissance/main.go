@@ -5,14 +5,24 @@
 // Usage:
 //
 //	renaissance list [-suite name]
-//	renaissance run [-suite name] [-bench name] [-size f] [-warmup n] [-measured n] [-json]
+//	renaissance run [-suite name] [-bench name] [-size f] [-warmup n] [-measured n]
+//	                [-timeout d] [-fault spec] [-json]
 //	renaissance metrics
+//
+// Runs degrade gracefully: a benchmark that fails, panics, or exceeds its
+// deadline is recorded with its status and the sweep continues; the exit
+// summary tallies statuses and the exit code is non-zero if any run was
+// not ok.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"renaissance/internal/core"
 	"renaissance/internal/metrics"
@@ -51,8 +61,60 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   renaissance list [-suite name]
-  renaissance run [-suite name] [-bench name] [-size f] [-warmup n] [-measured n] [-json]
+  renaissance run [-suite name] [-bench name] [-size f] [-warmup n] [-measured n]
+                  [-timeout d] [-fault spec] [-json]
   renaissance metrics`)
+}
+
+// faultFlags collects repeatable -fault specs of the form
+// kind[:benchmark[:iteration]], where kind is delay=DUR, error[=msg], or
+// panic[=msg]; benchmark defaults to every benchmark and iteration to
+// every steady-state iteration.
+type faultFlags struct {
+	faults []core.Fault
+}
+
+func (f *faultFlags) String() string { return fmt.Sprintf("%d fault(s)", len(f.faults)) }
+
+func (f *faultFlags) Set(spec string) error {
+	parts := strings.SplitN(spec, ":", 3)
+	fault := core.Fault{Iteration: -1}
+	kind, arg := parts[0], ""
+	if i := strings.IndexByte(kind, '='); i >= 0 {
+		kind, arg = kind[:i], kind[i+1:]
+	}
+	switch kind {
+	case "delay":
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return fmt.Errorf("bad -fault delay %q: %w", arg, err)
+		}
+		fault.Delay = d
+	case "error":
+		if arg == "" {
+			arg = "injected error"
+		}
+		fault.Err = errors.New(arg)
+	case "panic":
+		if arg == "" {
+			arg = "injected panic"
+		}
+		fault.Panic = arg
+	default:
+		return fmt.Errorf("bad -fault kind %q (want delay=DUR, error, or panic)", kind)
+	}
+	if len(parts) > 1 {
+		fault.Benchmark = parts[1]
+	}
+	if len(parts) > 2 {
+		n, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return fmt.Errorf("bad -fault iteration %q: %w", parts[2], err)
+		}
+		fault.Iteration = n
+	}
+	f.faults = append(f.faults, fault)
+	return nil
 }
 
 func cmdList(args []string) error {
@@ -85,6 +147,9 @@ func cmdRun(args []string) error {
 	size := fs.Float64("size", 1.0, "workload size factor")
 	warmup := fs.Int("warmup", 0, "override warmup iterations")
 	measured := fs.Int("measured", 0, "override measured iterations")
+	timeout := fs.Duration("timeout", 0, "override per-benchmark deadline (0 = spec default)")
+	var faults faultFlags
+	fs.Var(&faults, "fault", "inject a fault: kind[:benchmark[:iteration]], kind = delay=DUR | error[=msg] | panic[=msg] (repeatable)")
 	asJSON := fs.Bool("json", false, "emit JSON results")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +159,10 @@ func cmdRun(args []string) error {
 	r.Config.SizeFactor = *size
 	r.WarmupOverride = *warmup
 	r.MeasuredOverride = *measured
+	r.TimeoutOverride = *timeout
+	if len(faults.faults) > 0 {
+		r.Use(core.NewFaultInjector(faults.faults...))
+	}
 
 	var specs []*core.Spec
 	for _, s := range core.Global.All() {
@@ -109,11 +178,14 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("no benchmarks match suite=%q bench=%q", *suite, *bench)
 	}
 
-	t := &report.Table{Headers: []string{"suite", "benchmark", "mean ms", "99% CI", "min ms", "max ms", "validated"}}
+	t := &report.Table{Headers: []string{"suite", "benchmark", "status", "mean ms", "99% CI", "min ms", "max ms", "validated"}}
+	var results []*core.Result
 	for _, s := range specs {
+		// Graceful degradation: record the failure and keep sweeping.
 		res, err := r.Run(s)
+		results = append(results, res)
 		if err != nil {
-			return err
+			fmt.Fprintf(os.Stderr, "renaissance: %s/%s: %s\n", s.Suite, s.Name, firstLine(res.Err))
 		}
 		if *asJSON {
 			if err := res.WriteJSON(os.Stdout); err != nil {
@@ -127,14 +199,31 @@ func cmdRun(args []string) error {
 			ci = fmt.Sprintf("±%.2f", hw)
 			_ = mean
 		}
-		t.AddRow(s.Suite, s.Name,
+		t.AddRow(s.Suite, s.Name, string(res.Status),
 			fmt.Sprintf("%.2f", sum.Mean), ci, fmt.Sprintf("%.2f", sum.Min),
 			fmt.Sprintf("%.2f", sum.Max), res.Validated)
 	}
-	if *asJSON {
-		return nil
+	if !*asJSON {
+		if err := t.Write(os.Stdout); err != nil {
+			return err
+		}
 	}
-	return t.Write(os.Stdout)
+	tally := core.TallyResults(results)
+	fmt.Fprintf(os.Stderr, "renaissance: %d benchmarks: %s\n", tally.Total(), tally)
+	if !tally.AllOK() {
+		return fmt.Errorf("%d of %d benchmarks did not complete cleanly",
+			tally.Total()-tally.OK, tally.Total())
+	}
+	return nil
+}
+
+// firstLine trims a (possibly multi-line, stack-bearing) error message for
+// the per-benchmark progress log; the full text stays in the JSON result.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " ..."
+	}
+	return s
 }
 
 func cmdMetrics() error {

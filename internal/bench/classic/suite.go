@@ -9,6 +9,8 @@
 package classic
 
 import (
+	"time"
+
 	"renaissance/internal/core"
 	"renaissance/internal/metrics"
 )
@@ -21,6 +23,7 @@ func register(name, description string, setup func(core.Config) (core.Workload, 
 		Focus:       []string{"compute-bound"},
 		Warmup:      2,
 		Measured:    5,
+		Timeout:     2 * time.Minute,
 		Setup:       setup,
 	})
 }

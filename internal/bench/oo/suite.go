@@ -10,6 +10,8 @@
 package oo
 
 import (
+	"time"
+
 	"renaissance/internal/core"
 	"renaissance/internal/metrics"
 )
@@ -22,6 +24,7 @@ func register(name, description string, setup func(core.Config) (core.Workload, 
 		Focus:       []string{"object-oriented"},
 		Warmup:      2,
 		Measured:    5,
+		Timeout:     2 * time.Minute,
 		Setup:       setup,
 	})
 }

@@ -12,11 +12,16 @@
 // harness's global registry.
 package renaissance
 
-import "renaissance/internal/core"
+import (
+	"time"
+
+	"renaissance/internal/core"
+)
 
 // spec is a local helper wiring a benchmark into the registry with the
 // suite's defaults (2 warmup + 5 measured iterations, matching the
-// warmup/steady-state split of §4.1 at laptop scale).
+// warmup/steady-state split of §4.1 at laptop scale, and a generous
+// per-benchmark deadline so one wedged workload cannot hang a sweep).
 func register(name, description string, focus []string, setup func(core.Config) (core.Workload, error)) {
 	core.Register(core.Spec{
 		Name:        name,
@@ -25,6 +30,7 @@ func register(name, description string, focus []string, setup func(core.Config) 
 		Focus:       focus,
 		Warmup:      2,
 		Measured:    5,
+		Timeout:     2 * time.Minute,
 		Setup:       setup,
 	})
 }

@@ -101,6 +101,11 @@ type Spec struct {
 	// execution after the warmup is classified as steady-state").
 	Warmup   int
 	Measured int
+	// Timeout is the deadline for one full run of this benchmark (setup +
+	// warmup + steady state + validation). Zero means no deadline; the
+	// runner's TimeoutOverride takes precedence when set. A run exceeding
+	// its deadline is abandoned and reported with StatusTimeout.
+	Timeout time.Duration
 	// Setup builds the workload for the given configuration.
 	Setup func(cfg Config) (Workload, error)
 }
@@ -226,6 +231,16 @@ type Plugin interface {
 	BeforeBenchmark(spec *Spec)
 	AfterIteration(ev IterationEvent)
 	AfterBenchmark(spec *Spec, res *Result)
+}
+
+// Interceptor is optionally implemented by plugins that act before an
+// iteration runs. The event carries the iteration's identity (Duration and
+// Err are zero). A returned error is treated as the iteration's error; a
+// panic is recovered by the runner like a workload panic. This is the hook
+// the FaultInjector uses to make failure handling deterministically
+// testable.
+type Interceptor interface {
+	BeforeIteration(ev IterationEvent) error
 }
 
 // Base is a no-op Plugin for embedding.

@@ -2,25 +2,82 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"time"
 
 	"renaissance/internal/metrics"
 	"renaissance/internal/stats"
 )
 
+// Status classifies the outcome of one benchmark run. A non-ok status never
+// aborts a sweep: RunAll records it and moves on to the next spec (the
+// steady-state-methodology requirement that a single misbehaving benchmark
+// must not invalidate a whole suite run).
+type Status string
+
+const (
+	// StatusOK marks a run that completed every phase without error.
+	StatusOK Status = "ok"
+	// StatusError marks a run aborted by a setup, iteration, or
+	// validation error.
+	StatusError Status = "error"
+	// StatusTimeout marks a run abandoned because it exceeded its
+	// deadline (Spec.Timeout or Runner.TimeoutOverride).
+	StatusTimeout Status = "timeout"
+	// StatusPanic marks a run whose workload panicked; the panic value
+	// and stack are preserved in Result.Err.
+	StatusPanic Status = "panic"
+)
+
+// PanicError wraps a recovered panic from a workload iteration (or setup /
+// validation / teardown) so it can flow through the ordinary error paths
+// with the goroutine stack attached.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// statusForError distinguishes panics from ordinary errors.
+func statusForError(err error) Status {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return StatusPanic
+	}
+	return StatusError
+}
+
+// guard runs fn, converting a panic into a *PanicError so a misbehaving
+// workload cannot take down the harness process.
+func guard(fn func() error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
 // Result holds the outcome of one benchmark run: the per-iteration
-// steady-state durations and the metric profile of the steady-state phase.
+// steady-state durations, the metric profile of the steady-state phase, and
+// the run's terminal status.
 type Result struct {
-	Benchmark string        `json:"benchmark"`
-	Suite     string        `json:"suite"`
-	Warmup    int           `json:"warmupIterations"`
-	Durations []float64     `json:"steadyStateMillis"` // per measured iteration
-	Total     time.Duration `json:"-"`
-	Profile   *metrics.Profile
-	Validated bool   `json:"validated"`
-	Err       string `json:"error,omitempty"`
+	Benchmark string           `json:"benchmark"`
+	Suite     string           `json:"suite"`
+	Warmup    int              `json:"warmupIterations"`
+	Durations []float64        `json:"steadyStateMillis"` // per measured iteration
+	Total     time.Duration    `json:"-"`
+	Profile   *metrics.Profile `json:"profile,omitempty"`
+	Validated bool             `json:"validated"`
+	Status    Status           `json:"status"`
+	Err       string           `json:"error,omitempty"`
 }
 
 // MeanMillis returns the mean steady-state iteration time in milliseconds.
@@ -44,6 +101,10 @@ type Runner struct {
 	// when > 0 (useful for quick runs and tests).
 	WarmupOverride   int
 	MeasuredOverride int
+	// TimeoutOverride replaces every spec's Timeout when > 0. A run that
+	// exceeds its deadline is abandoned on its goroutine and reported with
+	// StatusTimeout instead of hanging the sweep.
+	TimeoutOverride time.Duration
 }
 
 // NewRunner returns a Runner with the default configuration.
@@ -54,10 +115,59 @@ func (r *Runner) Use(ps ...Plugin) { r.Plugins = append(r.Plugins, ps...) }
 
 // Run sets up the spec's workload, executes the warmup phase, profiles the
 // steady-state phase, validates the workload if it supports validation, and
-// returns the result. Iteration errors abort the run and are reported in
-// the result as well as the returned error.
+// returns the result. The whole run executes on a monitored goroutine:
+// panics are recovered into the result (StatusPanic) and a run exceeding
+// its deadline is abandoned and reported (StatusTimeout) rather than
+// hanging the suite. Failures abort the run and are reported both in the
+// result and the returned error; in every case the returned Result is
+// non-nil with its Status populated.
 func (r *Runner) Run(spec *Spec) (*Result, error) {
-	res := &Result{Benchmark: spec.Name, Suite: spec.Suite}
+	timeout := spec.Timeout
+	if r.TimeoutOverride > 0 {
+		timeout = r.TimeoutOverride
+	}
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1) // buffered: an abandoned run must not leak
+	go func() {
+		res, err := r.runSpec(spec)
+		ch <- outcome{res, err}
+	}()
+
+	if timeout <= 0 {
+		o := <-ch
+		return o.res, o.err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-timer.C:
+		// The wedged run keeps its own Result; build a fresh one so the
+		// abandoned goroutine cannot race with the caller's reads.
+		err := fmt.Errorf("core: %s/%s exceeded deadline %v; run abandoned",
+			spec.Suite, spec.Name, timeout)
+		res := &Result{
+			Benchmark: spec.Name, Suite: spec.Suite,
+			Status: StatusTimeout, Err: err.Error(),
+		}
+		return res, err
+	}
+}
+
+// runSpec is the body of Run, executed on the monitored goroutine.
+func (r *Runner) runSpec(spec *Spec) (*Result, error) {
+	res := &Result{Benchmark: spec.Name, Suite: spec.Suite, Status: StatusOK}
+
+	fail := func(phase string, err error) (*Result, error) {
+		res.Err = err.Error()
+		res.Status = statusForError(err)
+		return res, fmt.Errorf("core: %s of %s/%s: %w", phase, spec.Suite, spec.Name, err)
+	}
 
 	warmup := spec.Warmup
 	if r.WarmupOverride > 0 {
@@ -69,14 +179,18 @@ func (r *Runner) Run(spec *Spec) (*Result, error) {
 	}
 	res.Warmup = warmup
 
-	w, err := spec.Setup(r.Config)
+	var w Workload
+	err := guard(func() error {
+		var err error
+		w, err = spec.Setup(r.Config)
+		return err
+	})
 	if err != nil {
-		res.Err = err.Error()
-		return res, fmt.Errorf("core: setup of %s/%s: %w", spec.Suite, spec.Name, err)
+		return fail("setup", err)
 	}
 	defer func() {
 		if c, ok := w.(Closer); ok {
-			_ = c.Close()
+			_ = guard(c.Close)
 		}
 	}()
 
@@ -86,7 +200,20 @@ func (r *Runner) Run(spec *Spec) (*Result, error) {
 
 	runOne := func(i int, isWarmup bool) error {
 		start := time.Now()
-		err := w.RunIteration()
+		err := guard(func() error {
+			for _, p := range r.Plugins {
+				if ic, ok := p.(Interceptor); ok {
+					ev := IterationEvent{
+						Benchmark: spec.Name, Suite: spec.Suite,
+						Index: i, Warmup: isWarmup,
+					}
+					if err := ic.BeforeIteration(ev); err != nil {
+						return err
+					}
+				}
+			}
+			return w.RunIteration()
+		})
 		d := time.Since(start)
 		ev := IterationEvent{
 			Benchmark: spec.Name, Suite: spec.Suite,
@@ -107,25 +234,22 @@ func (r *Runner) Run(spec *Spec) (*Result, error) {
 
 	for i := 0; i < warmup; i++ {
 		if err := runOne(i, true); err != nil {
-			res.Err = err.Error()
-			return res, fmt.Errorf("core: warmup of %s/%s: %w", spec.Suite, spec.Name, err)
+			return fail("warmup", err)
 		}
 	}
 
 	prof := metrics.StartProfile(spec.Suite, spec.Name)
 	for i := 0; i < measured; i++ {
 		if err := runOne(i, false); err != nil {
-			res.Err = err.Error()
 			res.Profile = prof.Stop()
-			return res, fmt.Errorf("core: iteration of %s/%s: %w", spec.Suite, spec.Name, err)
+			return fail("iteration", err)
 		}
 	}
 	res.Profile = prof.Stop()
 
 	if v, ok := w.(Validator); ok {
-		if err := v.Validate(); err != nil {
-			res.Err = err.Error()
-			return res, fmt.Errorf("core: validation of %s/%s: %w", spec.Suite, spec.Name, err)
+		if err := guard(v.Validate); err != nil {
+			return fail("validation", err)
 		}
 		res.Validated = true
 	}
@@ -136,8 +260,10 @@ func (r *Runner) Run(spec *Spec) (*Result, error) {
 	return res, nil
 }
 
-// RunAll runs every given spec and returns the results; the first error is
-// returned after attempting all specs.
+// RunAll runs every given spec with graceful degradation: a failed,
+// panicked, or timed-out benchmark is recorded with its status and the
+// sweep continues with the remaining specs. The first error is returned
+// after attempting all specs.
 func (r *Runner) RunAll(specs []*Spec) ([]*Result, error) {
 	var firstErr error
 	out := make([]*Result, 0, len(specs))
@@ -149,4 +275,39 @@ func (r *Runner) RunAll(specs []*Spec) ([]*Result, error) {
 		}
 	}
 	return out, firstErr
+}
+
+// Tally counts results by status, for sweep exit summaries.
+type Tally struct {
+	OK, Errors, Timeouts, Panics int
+}
+
+// TallyResults tallies the statuses of a result set.
+func TallyResults(results []*Result) Tally {
+	var t Tally
+	for _, res := range results {
+		switch res.Status {
+		case StatusError:
+			t.Errors++
+		case StatusTimeout:
+			t.Timeouts++
+		case StatusPanic:
+			t.Panics++
+		default:
+			t.OK++
+		}
+	}
+	return t
+}
+
+// Total returns the number of tallied results.
+func (t Tally) Total() int { return t.OK + t.Errors + t.Timeouts + t.Panics }
+
+// AllOK reports whether every tallied run completed cleanly.
+func (t Tally) AllOK() bool { return t.Total() == t.OK }
+
+// String renders the tally as an exit summary line.
+func (t Tally) String() string {
+	return fmt.Sprintf("%d ok, %d error, %d timeout, %d panic",
+		t.OK, t.Errors, t.Timeouts, t.Panics)
 }

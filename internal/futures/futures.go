@@ -9,12 +9,17 @@ package futures
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"renaissance/internal/metrics"
 )
 
 // ErrAlreadyCompleted is returned when a promise is completed twice.
 var ErrAlreadyCompleted = errors.New("futures: promise already completed")
+
+// ErrTimeout is returned by AwaitTimeout when the deadline elapses before
+// the future completes.
+var ErrTimeout = errors.New("futures: await timed out")
 
 // Future is a read handle on an eventually available value of type T.
 type Future[T any] struct {
@@ -102,6 +107,22 @@ func (f *Future[T]) Await() (T, error) {
 	metrics.IncPark()
 	<-f.done
 	return f.value, f.err
+}
+
+// AwaitTimeout blocks until the future completes or d elapses, returning
+// ErrTimeout in the latter case. The future itself is unaffected: it may
+// still complete later and can be awaited again.
+func (f *Future[T]) AwaitTimeout(d time.Duration) (T, error) {
+	metrics.IncPark()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-f.done:
+		return f.value, f.err
+	case <-timer.C:
+		var zero T
+		return zero, ErrTimeout
+	}
 }
 
 // Poll returns the result if the future is complete.

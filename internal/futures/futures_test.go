@@ -232,3 +232,31 @@ func TestConcurrentCallbacksAllRun(t *testing.T) {
 		t.Errorf("callbacks run = %d, want 50", count.Load())
 	}
 }
+
+func TestAwaitTimeout(t *testing.T) {
+	// Incomplete future: times out with ErrTimeout.
+	p := NewPromise[int]()
+	start := time.Now()
+	_, err := p.Future().AwaitTimeout(20 * time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("AwaitTimeout did not respect the deadline")
+	}
+
+	// The future is unaffected: it can still complete and be awaited.
+	_ = p.Success(7)
+	if v, err := p.Future().AwaitTimeout(time.Second); err != nil || v != 7 {
+		t.Errorf("after completion = (%d, %v)", v, err)
+	}
+
+	// Completed future returns immediately with its value or error.
+	if v, err := Completed(3).AwaitTimeout(time.Nanosecond); err != nil || v != 3 {
+		t.Errorf("completed = (%d, %v)", v, err)
+	}
+	boom := errors.New("boom")
+	if _, err := Failed[int](boom).AwaitTimeout(time.Second); !errors.Is(err, boom) {
+		t.Errorf("failed future err = %v, want boom", err)
+	}
+}

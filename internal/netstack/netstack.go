@@ -10,6 +10,12 @@
 // payload. Servers answer each request with a service function returning a
 // future; clients multiplex calls over a connection pool and return
 // futures.
+//
+// Both endpoints have fault-tolerant teardown and deadline semantics: the
+// server tracks live connections and force-closes them when a graceful
+// drain exceeds its DrainTimeout, and the client supports per-call
+// deadlines plus retry-with-backoff over redialed connections for
+// transient dial/IO errors.
 package netstack
 
 import (
@@ -20,6 +26,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"renaissance/internal/futures"
 	"renaissance/internal/metrics"
@@ -28,8 +35,17 @@ import (
 // MaxFrame bounds a single message; larger frames are rejected as corrupt.
 const MaxFrame = 16 << 20
 
+// DefaultDrainTimeout bounds Server.Close's graceful-drain phase (and the
+// post-force-close wait) when Server.DrainTimeout is unset.
+const DefaultDrainTimeout = 2 * time.Second
+
 // ErrClosed is returned by calls on a closed client or server.
 var ErrClosed = errors.New("netstack: closed")
+
+// ErrDrainTimeout is returned by Server.Close when connection handlers are
+// still wedged after the live connections were force-closed — e.g. a
+// service future that never completes.
+var ErrDrainTimeout = errors.New("netstack: drain timeout exceeded")
 
 // Service handles one request and eventually produces a response.
 type Service func(req []byte) *futures.Future[[]byte]
@@ -69,6 +85,13 @@ type Server struct {
 	svc    Service
 	wg     sync.WaitGroup
 	closed atomic.Bool
+	// DrainTimeout bounds how long Close waits for connections to drain
+	// gracefully before force-closing them (DefaultDrainTimeout when 0).
+	DrainTimeout time.Duration
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
 	// Requests counts served requests, for benchmark validation.
 	Requests atomic.Int64
 }
@@ -80,7 +103,7 @@ func Serve(addr string, svc Service) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, svc: svc}
+	s := &Server{ln: ln, svc: svc, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -96,13 +119,37 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		if !s.track(conn) {
+			_ = conn.Close() // lost the race with Close
+			continue
+		}
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
 }
 
+// track registers a live connection; it refuses (and the caller closes the
+// conn) when the server is already shutting down, so no connection can slip
+// past the force-close in Close.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	defer s.untrack(conn)
 	defer conn.Close()
 	var writeMu sync.Mutex
 	var pending sync.WaitGroup
@@ -130,27 +177,86 @@ func (s *Server) serveConn(conn net.Conn) {
 	pending.Wait()
 }
 
-// Close stops accepting and waits for in-flight connections to finish
-// their current reads.
+// Close stops accepting and tears the server down in two bounded phases:
+// it first waits up to DrainTimeout for connections to drain gracefully
+// (clients disconnecting on their own), then force-closes every live
+// connection — unblocking handlers stuck in readFrame on peers that never
+// disconnect — and waits up to DrainTimeout again for the handlers to
+// finish. ErrDrainTimeout is returned if they still have not.
 func (s *Server) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
 	err := s.ln.Close()
-	s.wg.Wait()
-	return err
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	drain := s.DrainTimeout
+	if drain <= 0 {
+		drain = DefaultDrainTimeout
+	}
+	timer := time.NewTimer(drain)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return err
+	case <-timer.C:
+	}
+
+	s.mu.Lock()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+
+	timer.Reset(drain)
+	select {
+	case <-done:
+		return err
+	case <-timer.C:
+		return ErrDrainTimeout
+	}
+}
+
+// RetryPolicy configures the client's handling of transient dial and IO
+// errors: a failed round trip closes the bad connection and is retried on
+// a freshly dialed one, sleeping Backoff (doubled each retry) between
+// attempts.
+type RetryPolicy struct {
+	// Max is the number of retries after the first attempt; 0 disables
+	// retrying.
+	Max int
+	// Backoff is the sleep before the first retry (doubled each further
+	// retry). Defaults to 10ms when retries are enabled and Backoff is 0.
+	Backoff time.Duration
+}
+
+// poolConn is one pool slot. Exactly poolSize tokens circulate through the
+// pool channel, so a slot whose connection died (conn == nil) is redialed
+// lazily by the next caller instead of shrinking the pool.
+type poolConn struct {
+	conn net.Conn
 }
 
 // Client issues requests to a server over a pool of connections. Each
 // pooled connection carries one request at a time (like a Finagle
 // connection-pool client without HTTP/2-style multiplexing).
 type Client struct {
-	addr   string
-	pool   chan net.Conn
-	size   int
+	addr string
+	pool chan *poolConn
+	size int
+	// Timeout bounds each round trip (frame write + response read) when
+	// > 0; a timed-out connection is discarded and redialed.
+	Timeout time.Duration
+	// Retry configures retry-with-backoff for transient dial/IO errors.
+	Retry RetryPolicy
+
 	closed atomic.Bool
 	mu     sync.Mutex
-	conns  []net.Conn
+	conns  map[net.Conn]struct{}
 }
 
 // Dial creates a client with the given connection-pool size.
@@ -158,24 +264,87 @@ func Dial(addr string, poolSize int) (*Client, error) {
 	if poolSize <= 0 {
 		poolSize = 4
 	}
-	c := &Client{addr: addr, pool: make(chan net.Conn, poolSize), size: poolSize}
+	c := &Client{
+		addr:  addr,
+		pool:  make(chan *poolConn, poolSize),
+		size:  poolSize,
+		conns: make(map[net.Conn]struct{}),
+	}
 	for i := 0; i < poolSize; i++ {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
 			_ = c.Close()
 			return nil, err
 		}
-		c.mu.Lock()
-		c.conns = append(c.conns, conn)
-		c.mu.Unlock()
-		c.pool <- conn
+		c.track(conn)
+		c.pool <- &poolConn{conn: conn}
 	}
 	return c, nil
 }
 
+func (c *Client) track(conn net.Conn) {
+	c.mu.Lock()
+	c.conns[conn] = struct{}{}
+	c.mu.Unlock()
+}
+
+// acquire checks a slot out of the pool, redialing its connection if a
+// previous error discarded it. ErrClosed means the client was closed.
+func (c *Client) acquire() (*poolConn, error) {
+	metrics.IncPark()
+	pc, ok := <-c.pool
+	if !ok {
+		return nil, ErrClosed
+	}
+	if pc.conn == nil {
+		conn, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			c.release(pc) // return the token so the pool does not shrink
+			return nil, err
+		}
+		c.track(conn)
+		pc.conn = conn
+	}
+	return pc, nil
+}
+
+// release returns a slot to the pool. If the client was closed meanwhile
+// the slot's connection is torn down instead; the pool channel is only
+// ever sent to under mu and before Close closes it, so the send cannot
+// panic. The channel is buffered to the token count, so the send cannot
+// block either.
+func (c *Client) release(pc *poolConn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed.Load() {
+		if pc.conn != nil {
+			delete(c.conns, pc.conn)
+			_ = pc.conn.Close()
+			pc.conn = nil
+		}
+		return
+	}
+	c.pool <- pc
+}
+
+// discard drops a slot's broken connection and returns the empty token to
+// the pool for lazy redial.
+func (c *Client) discard(pc *poolConn) {
+	c.mu.Lock()
+	if pc.conn != nil {
+		delete(c.conns, pc.conn)
+		_ = pc.conn.Close()
+		pc.conn = nil
+	}
+	c.mu.Unlock()
+	c.release(pc)
+}
+
 // Call sends the request and returns a future of the response. The request
 // runs on its own goroutine; ordering across concurrent calls is not
-// defined, matching asynchronous RPC clients.
+// defined, matching asynchronous RPC clients. Transient dial/IO errors are
+// retried per the client's RetryPolicy; each attempt is bounded by the
+// client's Timeout.
 func (c *Client) Call(req []byte) *futures.Future[[]byte] {
 	p := futures.NewPromise[[]byte]()
 	if c.closed.Load() {
@@ -183,30 +352,54 @@ func (c *Client) Call(req []byte) *futures.Future[[]byte] {
 		return p.Future()
 	}
 	go func() {
-		metrics.IncPark()
-		conn, ok := <-c.pool
-		if !ok {
-			_ = p.Failure(ErrClosed)
-			return
+		attempts := 1 + c.Retry.Max
+		backoff := c.Retry.Backoff
+		if backoff <= 0 {
+			backoff = 10 * time.Millisecond
 		}
-		resp, err := roundTrip(conn, req)
-		// Return the connection before completing so dependent calls in
-		// the continuation can acquire it.
-		if c.closed.Load() {
-			conn.Close()
-		} else {
-			c.pool <- conn
+		var lastErr error
+		for attempt := 0; attempt < attempts; attempt++ {
+			if attempt > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+			}
+			pc, err := c.acquire()
+			if err == ErrClosed {
+				_ = p.Failure(ErrClosed)
+				return
+			}
+			if err != nil {
+				lastErr = err // transient dial error; back off and retry
+				continue
+			}
+			resp, err := c.roundTrip(pc.conn, req)
+			if err == nil {
+				// Return the connection before completing so dependent
+				// calls in the continuation can acquire it.
+				c.release(pc)
+				_ = p.Success(resp)
+				return
+			}
+			lastErr = err
+			c.discard(pc)
+			if c.closed.Load() {
+				break
+			}
 		}
-		if err != nil {
-			_ = p.Failure(err)
-			return
-		}
-		_ = p.Success(resp)
+		_ = p.Failure(lastErr)
 	}()
 	return p.Future()
 }
 
-func roundTrip(conn net.Conn, req []byte) ([]byte, error) {
+// roundTrip performs one request/response exchange, applying the client's
+// per-call deadline when set.
+func (c *Client) roundTrip(conn net.Conn, req []byte) ([]byte, error) {
+	if c.Timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+			return nil, err
+		}
+		defer conn.SetDeadline(time.Time{})
+	}
 	if err := writeFrame(conn, req); err != nil {
 		return nil, err
 	}
@@ -218,14 +411,21 @@ func (c *Client) CallSync(req []byte) ([]byte, error) {
 	return c.Call(req).Await()
 }
 
-// Close tears down the pool.
+// Close tears down the pool. In-flight calls observe a connection error or
+// ErrClosed; their slots are torn down on release instead of re-entering
+// the pool. Closing the pool channel makes any Call parked in acquire fail
+// with ErrClosed instead of waiting forever.
 func (c *Client) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, conn := range c.conns {
+	close(c.pool)
+	for pc := range c.pool { // drain idle tokens
+		pc.conn = nil
+	}
+	for conn := range c.conns {
 		_ = conn.Close()
 	}
 	c.conns = nil

@@ -5,15 +5,17 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/metrics ./internal/forkjoin ./internal/stm ./internal/core ./internal/netstack ./internal/futures
+RACE_PKGS = ./internal/metrics ./internal/forkjoin ./internal/stm ./internal/core ./internal/netstack ./internal/futures ./internal/rdd ./internal/streams
 
-# The fault-tolerance tests: harness panic/timeout isolation, netstack
-# drain/close, client retry and close races. `make stress` shakes them
-# under the race detector repeatedly to catch rare interleavings.
-STRESS_RUN = 'Close|Drain|Timeout|Race|Panic|Retry|Fault|Discard'
-STRESS_PKGS = ./internal/core ./internal/netstack ./internal/futures
+# The fault-tolerance and engine-concurrency tests: harness panic/timeout
+# isolation, netstack drain/close, client retry and close races, plus the
+# data-parallel engine's executor/shuffle/fused-action interleavings.
+# `make stress` shakes them under the race detector repeatedly to catch
+# rare interleavings.
+STRESS_RUN = 'Close|Drain|Timeout|Race|Panic|Retry|Fault|Discard|Exchange|Executor|Fused|Nested'
+STRESS_PKGS = ./internal/core ./internal/netstack ./internal/futures ./internal/rdd ./internal/forkjoin
 
-.PHONY: check vet build test race stress bench bench-contention analyze
+.PHONY: check vet build test race stress bench bench-all bench-ci bench-contention analyze
 
 check: vet build test race
 
@@ -39,7 +41,22 @@ bench-contention:
 	$(GO) test -run '^$$' -bench 'Recorder|Snapshot' -cpu 1,2,4,8 ./internal/metrics
 	$(GO) test -run '^$$' -bench 'Deque' -cpu 1,2,4,8 ./internal/forkjoin
 
+# Data-parallel engine benchmarks: fused pipeline vs per-stage
+# materialization, lock-free shuffle exchange vs the mutex baseline, and
+# executor fan-out vs goroutine-per-task, at 1/2/4/8 virtual CPUs (see
+# EXPERIMENTS.md "Data-parallel engine"). Output is teed to BENCH_*.txt
+# so runs can be diffed with benchstat-style tooling.
 bench:
+	$(GO) test -run '^$$' -bench 'FusedVsMaterialized|LockedVsExchange' -benchmem -cpu 1,2,4,8 ./internal/rdd | tee BENCH_rdd.txt
+	$(GO) test -run '^$$' -bench 'FanOut' -benchmem -cpu 1,2,4,8 ./internal/forkjoin | tee BENCH_forkjoin.txt
+
+# One-iteration smoke pass over the engine benchmarks for CI: proves they
+# still compile and run without paying full measurement time.
+bench-ci:
+	$(GO) test -run '^$$' -bench 'FusedVsMaterialized|LockedVsExchange|FanOut' -benchtime 1x -benchmem ./internal/rdd ./internal/forkjoin
+
+# Every benchmark in the repo (paper figures included); slow.
+bench-all:
 	$(GO) test -run '^$$' -bench . ./...
 
 analyze:

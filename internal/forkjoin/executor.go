@@ -1,0 +1,167 @@
+// Shared data-parallel executor. The RDD engine and the parallel stream
+// terminals used to fan out one unbounded goroutine per partition (or per
+// element); now every partition-shaped workload runs on one process-wide
+// fork–join pool through a chunked parallel-for.
+//
+// For splits [0, n) into chunks and lets executors claim chunks from a
+// single atomic counter (guided self-scheduling, the classic parallel-for
+// discipline). Three properties matter here:
+//
+//   - Caller-runs: the calling goroutine claims and executes chunks
+//     itself. Pool workers only add parallelism opportunistically, via
+//     helper tasks enqueued with a non-blocking submit. A For therefore
+//     always makes progress even when every pool worker is blocked —
+//     which genuinely happens in this engine: shuffles execute *inside*
+//     partition tasks (a wide RDD's partitions all call into a
+//     sync.Once-guarded shuffle), so a worker can invoke a nested For
+//     while its siblings are parked in the Once. With a blocking
+//     barrier-style fan-out that is a deadlock; with caller-runs the
+//     nested For drains its own counter and completes.
+//   - Bounded parallelism: at most Parallelism()+1 goroutines (the
+//     workers plus the caller) ever execute chunks, however large n is —
+//     replacing the goroutine-per-partition fan-out whose cost the Task
+//     Bench results flag as the dominant overhead at task granularity.
+//   - Chunked granularity: grain 0 picks n/(par·4) so stealing has
+//     something to balance without per-element scheduling overhead;
+//     partition-shaped callers pass grain 1 because each index is already
+//     a coarse task.
+//
+// Helper tasks land on the pool's submission queue and are executed (or
+// stolen) by the Chase–Lev workers like any fork–join task; a helper that
+// arrives after the counter is drained simply exits.
+package forkjoin
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"renaissance/internal/metrics"
+)
+
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)
+
+// Shared returns the process-wide pool used by the data-parallel layers
+// (rdd partition evaluation, shuffle producers/consumers, the parallel
+// stream terminals). It is created on first use with GOMAXPROCS workers
+// and never closed.
+func Shared() *Pool {
+	sharedOnce.Do(func() {
+		sharedPool = NewPool(0)
+	})
+	return sharedPool
+}
+
+// For runs body over chunked subranges of [0, n) on the shared pool.
+// See Pool.ForMax for the execution discipline.
+func For(n, grain int, body func(lo, hi int)) {
+	Shared().ForMax(n, grain, 0, body)
+}
+
+// For runs body over chunked subranges of [0, n) on this pool, with the
+// calling goroutine participating. It returns when every index has been
+// processed exactly once.
+func (p *Pool) For(n, grain int, body func(lo, hi int)) {
+	p.ForMax(n, grain, 0, body)
+}
+
+// chunksPerExecutor is the load-balancing factor of the automatic grain:
+// enough chunks per executor that an uneven body still spreads, few
+// enough that claim traffic stays negligible.
+const chunksPerExecutor = 4
+
+// ForMax is For with an explicit concurrency bound: at most maxPar
+// executors (counting the caller) run chunks concurrently; maxPar <= 0
+// means the pool's full width plus the caller. grain <= 0 picks an
+// automatic chunk size of n/(par·chunksPerExecutor), at least 1.
+func (p *Pool) ForMax(n, grain, maxPar int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	par := len(p.workers) + 1 // workers plus the calling goroutine
+	if maxPar > 0 && maxPar < par {
+		par = maxPar
+	}
+	if grain <= 0 {
+		grain = n / (par * chunksPerExecutor)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks == 1 {
+		body(0, n)
+		return
+	}
+
+	var next, completed atomic.Int64
+	done := make(chan struct{})
+	drain := func(loc metrics.Local) {
+		for {
+			lo := int(next.Add(int64(grain))) - grain
+			if lo >= n {
+				return
+			}
+			// Counted per successful claim (= per chunk), not per
+			// fetch-add attempt: the overshooting final claim of each
+			// executor would make the total depend on how many helpers
+			// woke in time, and metric counts must not depend on
+			// scheduling timing.
+			loc.IncAtomic()
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+			if completed.Add(1) == int64(chunks) {
+				close(done)
+				return
+			}
+		}
+	}
+
+	helpers := par - 1
+	if helpers > chunks-1 {
+		helpers = chunks - 1
+	}
+	for i := 0; i < helpers; i++ {
+		if !p.trySubmit(func(w *Worker) any {
+			drain(w.local)
+			return nil
+		}) {
+			break // queue full or pool closed; the caller still finishes
+		}
+	}
+
+	loc := metrics.Acquire()
+	drain(loc)
+	// The counter is drained; wait for chunks still in flight on workers.
+	loc.IncPark()
+	<-done
+	// The barrier release is counted by the caller, not by whichever
+	// drain closed the channel: a helper bumping after close would race
+	// the caller's return and could land in a later measurement window.
+	loc.IncNotify()
+}
+
+// trySubmit enqueues a task without ever blocking: a full submission
+// queue or a closed pool drops the task. Used for the optional For
+// helpers, which are pure parallelism hints — correctness never depends
+// on them running. Helper tasks are completion-quiet: nobody joins them,
+// and a helper finishing after its For has returned must not leak
+// completion bumps into a later measurement window.
+func (p *Pool) trySubmit(fn Fn) bool {
+	metrics.IncObject()
+	t := newTask(fn)
+	t.quiet = true
+	select {
+	case p.submit <- t:
+		p.wakeOne()
+		return true
+	default:
+		return false
+	}
+}
+

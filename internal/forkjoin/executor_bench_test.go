@@ -1,0 +1,65 @@
+package forkjoin
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Fan-out benchmarks: the shared executor's chunked parallel-for against
+// the seed's goroutine-per-task fan-out (what the RDD engine and the
+// parallel stream terminals did before PR 3). Task bodies are small, so
+// the measurement is dominated by scheduling overhead — the Task Bench
+// observation the ISSUE cites. Run via `make bench` at -cpu 1,2,4,8.
+
+// fanOutTasks matches partition-task granularity: hundreds of small
+// tasks per barrier, not millions.
+const fanOutTasks = 512
+
+var fanOutSink int64
+
+// fanOutWork is a tiny deterministic task body (~200 ALU ops).
+func fanOutWork(seed int) int64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + 1
+	for i := 0; i < 200; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return int64(x)
+}
+
+func BenchmarkExecutorFanOut(b *testing.B) {
+	p := Shared()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum atomic.Int64
+		p.For(fanOutTasks, 1, func(lo, hi int) {
+			var local int64
+			for t := lo; t < hi; t++ {
+				local += fanOutWork(t)
+			}
+			sum.Add(local)
+		})
+		fanOutSink = sum.Load()
+	}
+}
+
+func BenchmarkGoroutineFanOut(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum atomic.Int64
+		var wg sync.WaitGroup
+		for t := 0; t < fanOutTasks; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				sum.Add(fanOutWork(t))
+			}(t)
+		}
+		wg.Wait()
+		fanOutSink = sum.Load()
+	}
+}

@@ -29,6 +29,10 @@ type Task struct {
 	done   atomic.Bool
 	result any
 	doneCh chan struct{}
+	// quiet suppresses completion metric bumps: For helper tasks are
+	// never joined and may outlive the For that submitted them, so their
+	// completion must not land counts in a later measurement window.
+	quiet bool
 }
 
 func newTask(fn Fn) *Task {
@@ -37,10 +41,14 @@ func newTask(fn Fn) *Task {
 
 func (t *Task) complete(v any, loc metrics.Local) {
 	t.result = v
-	loc.IncAtomic()
+	if !t.quiet {
+		loc.IncAtomic()
+	}
 	t.done.Store(true)
 	close(t.doneCh)
-	loc.IncNotify()
+	if !t.quiet {
+		loc.IncNotify()
+	}
 }
 
 // IsDone reports whether the task has completed.
@@ -166,14 +174,22 @@ func (w *Worker) exec(t *Task) {
 }
 
 // findTask looks for work: own deque first, then the submission queue, then
-// stealing from a random victim (scanning all on failure).
+// stealing from a random victim (scanning all on failure). Acquisitions
+// are counted on success for non-quiet tasks only: failed scan attempts
+// (and pickups of quiet For helpers) depend on wakeup timing, and
+// counting them would make per-run metric totals scheduling-dependent.
 func (w *Worker) findTask() *Task {
-	w.local.IncAtomic()
 	if t := w.dq.pop(); t != nil {
+		if !t.quiet {
+			w.local.IncAtomic()
+		}
 		return t
 	}
 	select {
 	case t := <-w.pool.submit:
+		if !t.quiet {
+			w.local.IncAtomic()
+		}
 		return t
 	default:
 	}
@@ -184,9 +200,11 @@ func (w *Worker) findTask() *Task {
 		if victim == w {
 			continue
 		}
-		w.local.IncAtomic()
 		if t := victim.dq.steal(); t != nil {
 			w.pool.Steals.Add(1)
+			if !t.quiet {
+				w.local.IncAtomic()
+			}
 			return t
 		}
 	}

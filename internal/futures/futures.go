@@ -114,6 +114,14 @@ func (f *Future[T]) Await() (T, error) {
 // still complete later and can be awaited again.
 func (f *Future[T]) AwaitTimeout(d time.Duration) (T, error) {
 	metrics.IncPark()
+	// An already-completed future must return its result even when the
+	// timeout is zero or expired; without this check the select below
+	// chooses randomly between the two ready channels.
+	select {
+	case <-f.done:
+		return f.value, f.err
+	default:
+	}
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 
+	"renaissance/internal/forkjoin"
 	"renaissance/internal/metrics"
 )
 
@@ -417,21 +418,17 @@ func growTree(data []LabeledPoint, numClasses, depth, minLeaf int) *TreeNode {
 	}
 }
 
-// parMapSlice evaluates fn over xs with one goroutine per element (element
-// counts here are small: features, users).
+// parMapSlice evaluates fn over xs on the shared work-stealing executor,
+// one chunk per element (element counts here are small and elements
+// coarse: features, users).
 func parMapSlice[T any, U any](xs []T, fn func(T) U) []U {
 	out := make([]U, len(xs))
-	done := make(chan int, len(xs))
-	for i := range xs {
-		go func(i int) {
-			metrics.IncIDynamic()
+	forkjoin.For(len(xs), 1, func(lo, hi int) {
+		loc := metrics.Acquire()
+		for i := lo; i < hi; i++ {
+			loc.IncIDynamic()
 			out[i] = fn(xs[i])
-			done <- i
-		}(i)
-	}
-	for range xs {
-		metrics.IncPark()
-		<-done
-	}
+		}
+	})
 	return out
 }

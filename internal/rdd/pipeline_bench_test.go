@@ -1,0 +1,205 @@
+package rdd
+
+import (
+	"sync"
+	"testing"
+
+	"renaissance/internal/forkjoin"
+	"renaissance/internal/metrics"
+)
+
+// Benchmarks comparing the PR 3 engine against the seed design, with the
+// seed reimplemented here as an in-package baseline so both run on the
+// same runtime and executor:
+//
+//   - BenchmarkPipelineFusedVsMaterialized: narrow chains evaluated by
+//     the fused push pipeline vs the seed's one-intermediate-slice-per-
+//     stage evaluation. The mapFilterMap variant has no per-element user
+//     allocations, so its fused allocs/op directly exposes the
+//     one-output-allocation-per-partition property; the flatMap variant
+//     adds a slice-returning FlatMap stage on both sides.
+//   - BenchmarkShuffleLockedVsExchange: the seed's per-bucket-mutex
+//     shuffle vs the two-phase lock-free staging-matrix exchange.
+//
+// Run via `make bench` at -cpu 1,2,4,8 (note in EXPERIMENTS.md: the
+// container has one physical core).
+
+const (
+	pipelineElems = 1 << 16
+	pipelineParts = 8
+)
+
+var pipelineSink int
+
+// The stage functions are marked noinline so both engines pay the same
+// call and escape costs; otherwise the baseline's direct loops let the
+// compiler stack-allocate benchDup's result while the fused pipeline's
+// closure chain forces it to the heap, skewing the comparison.
+//
+//go:noinline
+func benchMul(x int) int { return x*3 + 1 }
+
+//go:noinline
+func benchOdd(x int) bool { return x&1 == 1 }
+
+//go:noinline
+func benchDup(x int) []int { return []int{x, x + 1} }
+
+//go:noinline
+func benchDec(x int) int { return x - 1 }
+
+// materializedEval is the seed evaluation discipline for one partition of
+// the benchmark chain: every narrow stage allocates a full intermediate
+// slice and bumps the same per-element metrics the seed engine did.
+func materializedEval(seg []int, loc metrics.Local, withFlatMap bool) []int {
+	loc.IncArray()
+	s1 := make([]int, len(seg))
+	for i, x := range seg {
+		loc.IncIDynamic()
+		s1[i] = benchMul(x)
+	}
+	loc.IncArray()
+	s2 := make([]int, 0, len(s1))
+	for _, x := range s1 {
+		loc.IncIDynamic()
+		if benchOdd(x) {
+			s2 = append(s2, x)
+		}
+	}
+	s3 := s2
+	if withFlatMap {
+		loc.IncArray()
+		s3 = make([]int, 0, 2*len(s2))
+		for _, x := range s2 {
+			loc.IncIDynamic()
+			s3 = append(s3, benchDup(x)...)
+		}
+	}
+	loc.IncArray()
+	s4 := make([]int, len(s3))
+	for i, x := range s3 {
+		loc.IncIDynamic()
+		s4[i] = benchDec(x)
+	}
+	return s4
+}
+
+func benchMaterialized(b *testing.B, data []int, withFlatMap bool) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parts := make([][]int, pipelineParts)
+		forkjoin.For(pipelineParts, 1, func(lo, hi int) {
+			loc := metrics.Acquire()
+			for p := lo; p < hi; p++ {
+				plo := p * len(data) / pipelineParts
+				phi := (p + 1) * len(data) / pipelineParts
+				parts[p] = materializedEval(data[plo:phi], loc, withFlatMap)
+			}
+		})
+		total := 0
+		for _, pt := range parts {
+			total += len(pt)
+		}
+		out := make([]int, 0, total)
+		for _, pt := range parts {
+			out = append(out, pt...)
+		}
+		pipelineSink = len(out)
+	}
+}
+
+func benchFused(b *testing.B, r *RDD[int]) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipelineSink = len(r.Collect())
+	}
+}
+
+func BenchmarkPipelineFusedVsMaterialized(b *testing.B) {
+	data := ints(pipelineElems)
+
+	// Map→Filter→Map: no per-element user allocations, so fused allocs/op
+	// is pure engine cost — one output buffer per partition plus the
+	// constant Collect/executor overhead, independent of element count.
+	b.Run("mapFilterMap", func(b *testing.B) {
+		b.Run("fused", func(b *testing.B) {
+			r := Map(Map(Parallelize(data, pipelineParts), benchMul).Filter(benchOdd), benchDec)
+			benchFused(b, r)
+		})
+		b.Run("materialized", func(b *testing.B) {
+			benchMaterialized(b, data, false)
+		})
+	})
+
+	// Map→Filter→FlatMap→Map: both sides pay benchDup's per-element
+	// slice; the delta is the engine's intermediate materialization.
+	b.Run("flatMapChain", func(b *testing.B) {
+		b.Run("fused", func(b *testing.B) {
+			r := Map(FlatMap(Map(Parallelize(data, pipelineParts), benchMul).Filter(benchOdd), benchDup), benchDec)
+			benchFused(b, r)
+		})
+		b.Run("materialized", func(b *testing.B) {
+			benchMaterialized(b, data, true)
+		})
+	})
+}
+
+const (
+	shuffleElems   = 1 << 15
+	shuffleParts   = 8
+	shuffleBuckets = 8
+	shuffleKeys    = 1024
+)
+
+func BenchmarkShuffleLockedVsExchange(b *testing.B) {
+	pairs := make([]Pair[int, int], shuffleElems)
+	for i := range pairs {
+		pairs[i] = KV(i%shuffleKeys, i)
+	}
+	r := Parallelize(pairs, shuffleParts)
+
+	b.Run("locked", func(b *testing.B) {
+		// Seed implementation: goroutine per producer, per-producer local
+		// staging, appends serialized behind per-bucket mutexes.
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out := make([][]Pair[int, int], shuffleBuckets)
+			locks := make([]sync.Mutex, shuffleBuckets)
+			var wg sync.WaitGroup
+			for p := 0; p < shuffleParts; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					local := make([][]Pair[int, int], shuffleBuckets)
+					r.run(p, func(kv Pair[int, int]) bool {
+						bk := hashKey(kv.Key, shuffleBuckets)
+						local[bk] = append(local[bk], kv)
+						return true
+					})
+					for bk, ps := range local {
+						if len(ps) == 0 {
+							continue
+						}
+						locks[bk].Lock()
+						out[bk] = append(out[bk], ps...)
+						locks[bk].Unlock()
+					}
+				}(p)
+			}
+			wg.Wait()
+			pipelineSink = len(out[0])
+		}
+	})
+
+	b.Run("exchange", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out := shuffle(r, shuffleBuckets)
+			pipelineSink = len(out[0])
+		}
+	})
+}

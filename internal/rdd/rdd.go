@@ -6,12 +6,31 @@
 // substrate of the paper's Spark-based benchmarks — als, chi-square,
 // dec-tree, log-regression, movie-lens, naive-bayes, and page-rank
 // (Table 1: "data-parallel, machine learning / compute-bound / atomics").
+//
+// Internally the engine is built around three mechanisms (DESIGN.md §7):
+//
+//   - Fused pipelines: a narrow transformation does not materialize an
+//     intermediate slice. Each stage is a push-based sink over its
+//     parent's pipeline, so a Map→Filter→FlatMap chain evaluates a
+//     partition in one pass with a single output allocation at the next
+//     materialization boundary (an action, a Cache, or a shuffle write).
+//   - Shared execution: partition tasks, shuffle producers/consumers, and
+//     aggregates all run as chunked parallel-for work on the process-wide
+//     fork–join pool (forkjoin.Shared), never as one goroutine per
+//     partition.
+//   - Lock-free shuffle: wide dependencies exchange pairs through a
+//     private [producer][bucket] staging matrix followed by per-bucket
+//     concatenation — no mutex is acquired on the shuffle hot path.
 package rdd
 
 import (
 	"errors"
+	"hash/maphash"
+	"reflect"
+	"runtime"
 	"sync"
 
+	"renaissance/internal/forkjoin"
 	"renaissance/internal/metrics"
 )
 
@@ -21,31 +40,83 @@ var ErrEmpty = errors.New("rdd: empty dataset")
 // RDD is a partitioned, lazily evaluated dataset of T.
 type RDD[T any] struct {
 	numPartitions int
-	compute       func(part int) []T
+
+	// iterate is the fused compute representation: it pushes partition
+	// p's elements into sink, stopping early when sink returns false.
+	// Narrow transformations compose here without materializing.
+	iterate func(p int, sink func(T) bool)
+
+	// sizeHint estimates partition p's element count so materialization
+	// can allocate its output once. It is a hint, not a contract: Filter
+	// keeps its parent's (an upper bound), FlatMap's output may grow past
+	// it.
+	sizeHint func(p int) int
 
 	cacheOnce []sync.Once
 	cached    [][]T
 }
 
-// Parallelize splits data into the given number of partitions (0 means 8).
+// defaultPartitions is the Parallelize partition count when none is given.
+const defaultPartitions = 8
+
+// shuffleGrowth bounds how far a wide transformation may grow the
+// partition count over max(parent partitions, GOMAXPROCS); see
+// clampPartitions.
+const shuffleGrowth = 4
+
+// clampPartitions is the engine's single partition-count rule; every
+// operation that accepts a partition count resolves it here.
+//
+//   - requested <= 0 inherits fallback: defaultPartitions for
+//     Parallelize, the parent's count for wide transformations.
+//   - The count never exceeds limit: Parallelize caps at len(data) (a
+//     partition can't hold less than one element), and wide
+//     transformations cap at shuffleGrowth × max(parent partitions,
+//     GOMAXPROCS) — buckets beyond that are guaranteed empty-partition
+//     churn, each one a scheduled task that computes nothing.
+//   - The result is at least 1, so an empty dataset still has one (empty)
+//     partition.
+func clampPartitions(requested, fallback, limit int) int {
+	p := requested
+	if p <= 0 {
+		p = fallback
+	}
+	if p > limit {
+		p = limit
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// shuffleLimit is the wide-transformation cap fed to clampPartitions.
+func shuffleLimit(parentPartitions int) int {
+	limit := runtime.GOMAXPROCS(0)
+	if parentPartitions > limit {
+		limit = parentPartitions
+	}
+	return shuffleGrowth * limit
+}
+
+// Parallelize splits data into the given number of partitions (0 means 8;
+// see clampPartitions for the clamping rule).
 func Parallelize[T any](data []T, partitions int) *RDD[T] {
-	if partitions <= 0 {
-		partitions = 8
-	}
-	if partitions > len(data) && len(data) > 0 {
-		partitions = len(data)
-	}
-	if len(data) == 0 {
-		partitions = 1
-	}
+	partitions = clampPartitions(partitions, defaultPartitions, len(data))
 	metrics.IncObject()
 	n := len(data)
 	return &RDD[T]{
 		numPartitions: partitions,
-		compute: func(p int) []T {
-			lo := p * n / partitions
-			hi := (p + 1) * n / partitions
-			return data[lo:hi]
+		sizeHint: func(p int) int {
+			return (p+1)*n/partitions - p*n/partitions
+		},
+		iterate: func(p int, sink func(T) bool) {
+			lo, hi := p*n/partitions, (p+1)*n/partitions
+			for _, x := range data[lo:hi] {
+				if !sink(x) {
+					return
+				}
+			}
 		},
 	}
 }
@@ -54,117 +125,151 @@ func Parallelize[T any](data []T, partitions int) *RDD[T] {
 func (r *RDD[T]) NumPartitions() int { return r.numPartitions }
 
 // Cache memoizes partition contents: each partition is computed at most
-// once across all downstream actions.
+// once across all downstream actions. A cached dataset is a fusion
+// barrier — downstream stages read the memoized slice instead of
+// re-running the upstream pipeline.
 func (r *RDD[T]) Cache() *RDD[T] {
-	if r.cacheOnce != nil {
-		return r
-	}
-	r.cacheOnce = make([]sync.Once, r.numPartitions)
-	r.cached = make([][]T, r.numPartitions)
-	inner := r.compute
-	r.compute = func(p int) []T {
-		r.cacheOnce[p].Do(func() {
-			r.cached[p] = inner(p)
-		})
-		return r.cached[p]
+	if r.cacheOnce == nil {
+		r.cacheOnce = make([]sync.Once, r.numPartitions)
+		r.cached = make([][]T, r.numPartitions)
 	}
 	return r
 }
 
-// partition evaluates one partition.
-func (r *RDD[T]) partition(p int) []T {
-	metrics.IncMethod()
-	return r.compute(p)
+// run streams partition p through sink, reading from the cache when the
+// dataset is cached. This is how narrow children consume their parent:
+// elements flow stage to stage without intermediate slices.
+func (r *RDD[T]) run(p int, sink func(T) bool) {
+	if r.cacheOnce != nil {
+		for _, x := range r.cachedPartition(p) {
+			if !sink(x) {
+				return
+			}
+		}
+		return
+	}
+	r.iterate(p, sink)
 }
 
-// collectPartitions evaluates every partition concurrently, one goroutine
-// per partition (Spark task granularity).
-func collectPartitions[T any](r *RDD[T]) [][]T {
-	metrics.IncArray()
-	out := make([][]T, r.numPartitions)
-	var wg sync.WaitGroup
-	for p := 0; p < r.numPartitions; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			out[p] = r.partition(p)
-		}(p)
-	}
-	metrics.IncPark()
-	wg.Wait()
+// materialize evaluates partition p into a slice: the whole fused
+// pipeline runs in one pass into a single size-hinted allocation.
+func (r *RDD[T]) materialize(p int) []T {
+	loc := metrics.Acquire()
+	loc.IncArray()
+	out := make([]T, 0, r.sizeHint(p))
+	r.iterate(p, func(x T) bool {
+		out = append(out, x)
+		return true
+	})
 	return out
 }
 
-// Map applies fn to every element (narrow dependency).
+func (r *RDD[T]) cachedPartition(p int) []T {
+	r.cacheOnce[p].Do(func() {
+		r.cached[p] = r.materialize(p)
+	})
+	return r.cached[p]
+}
+
+// partition evaluates one partition to a slice (the materialization
+// boundary used by actions and by MapPartitions).
+func (r *RDD[T]) partition(p int) []T {
+	metrics.IncMethod()
+	if r.cacheOnce != nil {
+		return r.cachedPartition(p)
+	}
+	return r.materialize(p)
+}
+
+// collectPartitions evaluates every partition as tasks on the shared
+// work-stealing executor (grain 1: each partition is already a coarse
+// task).
+func collectPartitions[T any](r *RDD[T]) [][]T {
+	metrics.IncArray()
+	out := make([][]T, r.numPartitions)
+	forkjoin.For(r.numPartitions, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			out[p] = r.partition(p)
+		}
+	})
+	return out
+}
+
+// Map applies fn to every element (narrow dependency, fused).
 func Map[T, U any](r *RDD[T], fn func(T) U) *RDD[U] {
 	metrics.IncObject()
 	return &RDD[U]{
 		numPartitions: r.numPartitions,
-		compute: func(p int) []U {
-			in := r.partition(p)
-			// One shard-pinned handle per partition task: the per-element
+		sizeHint:      r.sizeHint,
+		iterate: func(p int, sink func(U) bool) {
+			// One shard-pinned handle per partition pass: the per-element
 			// closure-dispatch bumps below are the engine's hottest
 			// instrumentation path.
 			loc := metrics.Acquire()
-			loc.IncArray()
-			out := make([]U, len(in))
-			for i, x := range in {
+			r.run(p, func(x T) bool {
 				loc.IncIDynamic()
-				out[i] = fn(x)
-			}
-			return out
+				return sink(fn(x))
+			})
 		},
 	}
 }
 
-// Filter keeps the elements satisfying pred (narrow dependency).
+// Filter keeps the elements satisfying pred (narrow dependency, fused).
 func (r *RDD[T]) Filter(pred func(T) bool) *RDD[T] {
 	metrics.IncObject()
 	return &RDD[T]{
 		numPartitions: r.numPartitions,
-		compute: func(p int) []T {
-			in := r.partition(p)
+		sizeHint:      r.sizeHint, // upper bound: filtering only shrinks
+		iterate: func(p int, sink func(T) bool) {
 			loc := metrics.Acquire()
-			loc.IncArray()
-			out := make([]T, 0, len(in))
-			for _, x := range in {
+			r.run(p, func(x T) bool {
 				loc.IncIDynamic()
 				if pred(x) {
-					out = append(out, x)
+					return sink(x)
 				}
-			}
-			return out
+				return true
+			})
 		},
 	}
 }
 
-// FlatMap maps each element to zero or more outputs (narrow dependency).
+// FlatMap maps each element to zero or more outputs (narrow dependency,
+// fused).
 func FlatMap[T, U any](r *RDD[T], fn func(T) []U) *RDD[U] {
 	metrics.IncObject()
 	return &RDD[U]{
 		numPartitions: r.numPartitions,
-		compute: func(p int) []U {
-			in := r.partition(p)
+		sizeHint:      r.sizeHint, // a guess; the output may outgrow it
+		iterate: func(p int, sink func(U) bool) {
 			loc := metrics.Acquire()
-			loc.IncArray()
-			var out []U
-			for _, x := range in {
+			r.run(p, func(x T) bool {
 				loc.IncIDynamic()
-				out = append(out, fn(x)...)
-			}
-			return out
+				for _, u := range fn(x) {
+					if !sink(u) {
+						return false
+					}
+				}
+				return true
+			})
 		},
 	}
 }
 
-// MapPartitions transforms whole partitions at once.
+// MapPartitions transforms whole partitions at once. The parent partition
+// is materialized (fn needs the full slice), so it is a fusion barrier
+// like Cache.
 func MapPartitions[T, U any](r *RDD[T], fn func([]T) []U) *RDD[U] {
 	metrics.IncObject()
 	return &RDD[U]{
 		numPartitions: r.numPartitions,
-		compute: func(p int) []U {
+		sizeHint:      r.sizeHint,
+		iterate: func(p int, sink func(U) bool) {
 			metrics.IncIDynamic()
-			return fn(r.partition(p))
+			for _, u := range fn(r.partition(p)) {
+				if !sink(u) {
+					return
+				}
+			}
 		},
 	}
 }
@@ -184,31 +289,64 @@ func (r *RDD[T]) Collect() []T {
 	return out
 }
 
-// Count returns the number of elements.
+// Count returns the number of elements. The fused pipeline streams
+// through a counter — nothing is materialized.
 func (r *RDD[T]) Count() int {
-	parts := collectPartitions(r)
-	n := 0
-	for _, p := range parts {
-		n += len(p)
+	counts := make([]int, r.numPartitions)
+	forkjoin.For(r.numPartitions, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			metrics.IncMethod()
+			n := 0
+			r.run(p, func(T) bool { n++; return true })
+			counts[p] = n
+		}
+	})
+	total := 0
+	for _, n := range counts {
+		total += n
 	}
-	return n
+	return total
 }
 
-// Reduce folds all elements with fn; partitions are folded in parallel and
-// partial results combined.
+// Reduce folds all elements with fn; partitions are folded in parallel
+// (streaming through the fused pipeline) and partial results combined in
+// partition order.
 func (r *RDD[T]) Reduce(fn func(T, T) T) (T, error) {
-	parts := collectPartitions(r)
+	type partial struct {
+		acc  T
+		have bool
+	}
+	partials := make([]partial, r.numPartitions)
+	forkjoin.For(r.numPartitions, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			metrics.IncMethod()
+			loc := metrics.Acquire()
+			var acc T
+			have := false
+			r.run(p, func(x T) bool {
+				if !have {
+					acc, have = x, true
+					return true
+				}
+				loc.IncIDynamic()
+				acc = fn(acc, x)
+				return true
+			})
+			partials[p] = partial{acc, have}
+		}
+	})
 	var acc T
 	have := false
-	for _, part := range parts {
-		for _, x := range part {
-			if !have {
-				acc, have = x, true
-				continue
-			}
-			metrics.IncIDynamic()
-			acc = fn(acc, x)
+	for _, pt := range partials {
+		if !pt.have {
+			continue
 		}
+		if !have {
+			acc, have = pt.acc, true
+			continue
+		}
+		metrics.IncIDynamic()
+		acc = fn(acc, pt.acc)
 	}
 	if !have {
 		return acc, ErrEmpty
@@ -218,26 +356,24 @@ func (r *RDD[T]) Reduce(fn func(T, T) T) (T, error) {
 
 // Aggregate folds each partition from zero() with seqOp, then merges the
 // per-partition accumulators with combOp (Spark's treeAggregate shape,
-// flattened).
+// flattened). Each partition streams through its fused pipeline directly
+// into the accumulator.
 func Aggregate[T, A any](r *RDD[T], zero func() A, seqOp func(A, T) A, combOp func(A, A) A) A {
 	partials := make([]A, r.numPartitions)
-	var wg sync.WaitGroup
-	for p := 0; p < r.numPartitions; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
+	forkjoin.For(r.numPartitions, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			metrics.IncMethod()
 			loc := metrics.Acquire()
 			loc.IncIDynamic()
 			acc := zero()
-			for _, x := range r.partition(p) {
+			r.run(p, func(x T) bool {
 				loc.IncIDynamic()
 				acc = seqOp(acc, x)
-			}
+				return true
+			})
 			partials[p] = acc
-		}(p)
-	}
-	metrics.IncPark()
-	wg.Wait()
+		}
+	})
 	metrics.IncIDynamic()
 	acc := zero()
 	for _, p := range partials {
@@ -256,96 +392,156 @@ type Pair[K comparable, V any] struct {
 // KV constructs a Pair.
 func KV[K comparable, V any](k K, v V) Pair[K, V] { return Pair[K, V]{k, v} }
 
-// hashKey produces the shuffle bucket of a key.
+// shuffleSeed makes hashKey deterministic within a process while varying
+// across processes (like Go's own map hashing).
+var shuffleSeed = maphash.MakeSeed()
+
+// hashKey produces the shuffle bucket of a key. maphash.Comparable
+// hashes any comparable key through the runtime's memory hash, so
+// struct, float, and pointer keys spread across buckets like ints and
+// strings do. (The previous hand-rolled fallback mixed one constant byte
+// for non-int/string keys, collapsing every such shuffle into a single
+// bucket.)
 func hashKey[K comparable](k K, buckets int) int {
-	// FNV-style hash over the key's string formatting would allocate;
-	// instead use a map-free scheme via Go's built-in map hashing proxy:
-	// format-free switch on common key kinds.
-	var h uint64 = 14695981039346656037
-	mix := func(b byte) {
-		h ^= uint64(b)
-		h *= 1099511628211
-	}
-	switch v := any(k).(type) {
-	case int:
-		for i := 0; i < 8; i++ {
-			mix(byte(uint64(v) >> (8 * i)))
-		}
-	case int32:
-		for i := 0; i < 4; i++ {
-			mix(byte(uint32(v) >> (8 * i)))
-		}
-	case int64:
-		for i := 0; i < 8; i++ {
-			mix(byte(uint64(v) >> (8 * i)))
-		}
-	case string:
-		for i := 0; i < len(v); i++ {
-			mix(v[i])
-		}
-	default:
-		// Fallback: distribute via a per-key map (rare in this codebase).
-		mix(0x9e)
-	}
-	return int(h % uint64(buckets))
+	return int(maphash.Comparable(shuffleSeed, k) % uint64(buckets))
 }
 
-// shuffle hash-partitions the parent's pairs into numPartitions buckets.
-// Each parent partition is processed by its own goroutine; bucket appends
-// are guarded by per-bucket locks, which is where data-parallel frameworks
-// spend their synchronization (the paper's page-rank "atomics" focus).
+// stagingRow is one producer's private row of the shuffle exchange
+// matrix: one append buffer per output bucket. Rows are pooled and reused
+// across shuffles, so steady-state shuffle writes land in warm,
+// pre-grown buffers.
+type stagingRow[K comparable, V any] struct {
+	buckets [][]Pair[K, V]
+}
+
+// stagingPools holds one sync.Pool of rows per concrete pair type
+// (package-level variables cannot be generic, so pools are keyed by
+// reflect.Type).
+var stagingPools sync.Map // reflect.Type -> *sync.Pool
+
+func stagingPoolFor[K comparable, V any]() *sync.Pool {
+	key := reflect.TypeOf((*stagingRow[K, V])(nil))
+	if p, ok := stagingPools.Load(key); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := stagingPools.LoadOrStore(key, &sync.Pool{
+		New: func() any { return new(stagingRow[K, V]) },
+	})
+	return p.(*sync.Pool)
+}
+
+// getStagingRow returns a row with numBuckets empty, capacity-retaining
+// buffers; fresh buffers are size-hinted at hint/numBuckets elements.
+func getStagingRow[K comparable, V any](pool *sync.Pool, numBuckets, hint int) *stagingRow[K, V] {
+	row := pool.Get().(*stagingRow[K, V])
+	// One logical buffer acquisition per producer row, counted whether or
+	// not the pool had a warm row: sync.Pool hits depend on GC and
+	// scheduling timing, and metric counts must be run-to-run stable.
+	metrics.Acquire().IncArray()
+	if cap(row.buckets) < numBuckets {
+		row.buckets = make([][]Pair[K, V], numBuckets)
+	}
+	row.buckets = row.buckets[:numBuckets]
+	per := hint/numBuckets + 1
+	for i := range row.buckets {
+		if row.buckets[i] == nil {
+			row.buckets[i] = make([]Pair[K, V], 0, per)
+		} else {
+			row.buckets[i] = row.buckets[i][:0]
+		}
+	}
+	return row
+}
+
+// putStagingRow recycles a row, dropping element references so pooled
+// buffers don't pin shuffled data for the GC.
+func putStagingRow[K comparable, V any](pool *sync.Pool, row *stagingRow[K, V]) {
+	for i := range row.buckets {
+		clear(row.buckets[i])
+		row.buckets[i] = row.buckets[i][:0]
+	}
+	pool.Put(row)
+}
+
+// shuffle hash-partitions the parent's pairs into numPartitions buckets
+// with a two-phase lock-free exchange:
+//
+// Phase 1 — producers: each parent partition streams its fused pipeline
+// directly into a private row of the [producer][bucket] staging matrix.
+// No two producers share state, so there is nothing to lock (the seed
+// implementation serialized producers behind per-bucket mutexes here —
+// the synchronization point the paper's page-rank "atomics" focus calls
+// out).
+//
+// Phase 2 — consumers: each output bucket concatenates its column of the
+// matrix with one exact-sized allocation.
+//
+// Both phases run as chunked tasks on the shared executor; the only
+// synchronization is the executor's own atomic chunk claiming and the
+// phase barrier between them.
 func shuffle[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) [][]Pair[K, V] {
-	if numPartitions <= 0 {
-		numPartitions = r.numPartitions
-	}
-	buckets := make([][]Pair[K, V], numPartitions)
-	locks := make([]sync.Mutex, numPartitions)
-	var wg sync.WaitGroup
-	for p := 0; p < r.numPartitions; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			// Stage pairs locally per bucket to shorten critical sections.
-			loc := metrics.Acquire()
-			loc.IncArray()
-			local := make([][]Pair[K, V], numPartitions)
-			for _, kv := range r.partition(p) {
+	producers := r.numPartitions
+	pool := stagingPoolFor[K, V]()
+	metrics.IncArray()
+	staging := make([]*stagingRow[K, V], producers)
+
+	forkjoin.For(producers, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			metrics.IncMethod()
+			row := getStagingRow[K, V](pool, numPartitions, r.sizeHint(p))
+			r.run(p, func(kv Pair[K, V]) bool {
 				b := hashKey(kv.Key, numPartitions)
-				local[b] = append(local[b], kv)
+				row.buckets[b] = append(row.buckets[b], kv)
+				return true
+			})
+			staging[p] = row
+		}
+	})
+
+	metrics.IncArray()
+	buckets := make([][]Pair[K, V], numPartitions)
+	forkjoin.For(numPartitions, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			loc := metrics.Acquire()
+			total := 0
+			for _, row := range staging {
+				total += len(row.buckets[b])
 			}
-			for b, pairs := range local {
-				if len(pairs) == 0 {
-					continue
-				}
-				// Bump before acquiring so the hold time stays minimal.
-				loc.IncSynch()
-				locks[b].Lock()
-				buckets[b] = append(buckets[b], pairs...)
-				locks[b].Unlock()
+			loc.IncArray()
+			out := make([]Pair[K, V], 0, total)
+			for _, row := range staging {
+				out = append(out, row.buckets[b]...)
 			}
-		}(p)
+			buckets[b] = out
+		}
+	})
+
+	for _, row := range staging {
+		putStagingRow(pool, row)
 	}
-	metrics.IncPark()
-	wg.Wait()
 	return buckets
 }
 
 // ReduceByKey merges the values of each key with fn, shuffling into
-// numPartitions output partitions (0 keeps the parent's count).
+// numPartitions output partitions (0 keeps the parent's count; see
+// clampPartitions).
 func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int, fn func(V, V) V) *RDD[Pair[K, V]] {
 	metrics.IncObject()
-	if numPartitions <= 0 {
-		numPartitions = r.numPartitions
-	}
+	numPartitions = clampPartitions(numPartitions, r.numPartitions, shuffleLimit(r.numPartitions))
 	var once sync.Once
 	var buckets [][]Pair[K, V]
+	ensure := func() { once.Do(func() { buckets = shuffle(r, numPartitions) }) }
 	return &RDD[Pair[K, V]]{
 		numPartitions: numPartitions,
-		compute: func(p int) []Pair[K, V] {
-			once.Do(func() { buckets = shuffle(r, numPartitions) })
+		sizeHint: func(p int) int {
+			ensure()
+			return len(buckets[p])
+		},
+		iterate: func(p int, sink func(Pair[K, V]) bool) {
+			ensure()
 			loc := metrics.Acquire()
 			loc.IncObject()
-			agg := make(map[K]V)
+			agg := make(map[K]V, len(buckets[p]))
 			for _, kv := range buckets[p] {
 				if old, ok := agg[kv.Key]; ok {
 					loc.IncIDynamic()
@@ -354,12 +550,11 @@ func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int, fn 
 					agg[kv.Key] = kv.Value
 				}
 			}
-			metrics.IncArray()
-			out := make([]Pair[K, V], 0, len(agg))
 			for k, v := range agg {
-				out = append(out, Pair[K, V]{k, v})
+				if !sink(Pair[K, V]{k, v}) {
+					return
+				}
 			}
-			return out
 		},
 	}
 }
@@ -367,26 +562,28 @@ func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int, fn 
 // GroupByKey gathers all values of each key.
 func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RDD[Pair[K, []V]] {
 	metrics.IncObject()
-	if numPartitions <= 0 {
-		numPartitions = r.numPartitions
-	}
+	numPartitions = clampPartitions(numPartitions, r.numPartitions, shuffleLimit(r.numPartitions))
 	var once sync.Once
 	var buckets [][]Pair[K, V]
+	ensure := func() { once.Do(func() { buckets = shuffle(r, numPartitions) }) }
 	return &RDD[Pair[K, []V]]{
 		numPartitions: numPartitions,
-		compute: func(p int) []Pair[K, []V] {
-			once.Do(func() { buckets = shuffle(r, numPartitions) })
+		sizeHint: func(p int) int {
+			ensure()
+			return len(buckets[p])
+		},
+		iterate: func(p int, sink func(Pair[K, []V]) bool) {
+			ensure()
 			metrics.IncObject()
 			agg := make(map[K][]V)
 			for _, kv := range buckets[p] {
 				agg[kv.Key] = append(agg[kv.Key], kv.Value)
 			}
-			metrics.IncArray()
-			out := make([]Pair[K, []V], 0, len(agg))
 			for k, vs := range agg {
-				out = append(out, Pair[K, []V]{k, vs})
+				if !sink(Pair[K, []V]{k, vs}) {
+					return
+				}
 			}
-			return out
 		},
 	}
 }
@@ -408,32 +605,36 @@ func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], numPar
 		Right W
 	}
 	metrics.IncObject()
-	if numPartitions <= 0 {
-		numPartitions = a.numPartitions
-	}
+	numPartitions = clampPartitions(numPartitions, a.numPartitions, shuffleLimit(a.numPartitions))
 	var once sync.Once
 	var leftBuckets [][]Pair[K, V]
 	var rightBuckets [][]Pair[K, W]
+	ensure := func() {
+		once.Do(func() {
+			leftBuckets = shuffle(a, numPartitions)
+			rightBuckets = shuffle(b, numPartitions)
+		})
+	}
 	return &RDD[Pair[K, joined]]{
 		numPartitions: numPartitions,
-		compute: func(p int) []Pair[K, joined] {
-			once.Do(func() {
-				leftBuckets = shuffle(a, numPartitions)
-				rightBuckets = shuffle(b, numPartitions)
-			})
+		sizeHint: func(p int) int {
+			ensure()
+			return len(rightBuckets[p])
+		},
+		iterate: func(p int, sink func(Pair[K, joined]) bool) {
+			ensure()
 			metrics.IncObject()
 			left := make(map[K][]V)
 			for _, kv := range leftBuckets[p] {
 				left[kv.Key] = append(left[kv.Key], kv.Value)
 			}
-			metrics.IncArray()
-			var out []Pair[K, joined]
 			for _, kw := range rightBuckets[p] {
 				for _, v := range left[kw.Key] {
-					out = append(out, Pair[K, joined]{kw.Key, joined{v, kw.Value}})
+					if !sink(Pair[K, joined]{kw.Key, joined{v, kw.Value}}) {
+						return
+					}
 				}
 			}
-			return out
 		},
 	}
 }

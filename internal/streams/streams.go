@@ -10,8 +10,8 @@ package streams
 import (
 	"runtime"
 	"sort"
-	"sync"
 
+	"renaissance/internal/forkjoin"
 	"renaissance/internal/metrics"
 )
 
@@ -313,27 +313,23 @@ func parallelWorkers(workers int) int {
 	return workers
 }
 
-// ParMap applies fn to every element of xs using the given number of
-// workers (0 = GOMAXPROCS) and returns the results in order — the parallel
-// stream map.
+// ParMap applies fn to every element of xs with at most the given number
+// of concurrent executors (0 = GOMAXPROCS) and returns the results in
+// order — the parallel stream map. Chunks run on the shared work-stealing
+// pool (forkjoin.Shared) rather than on per-chunk goroutines, so
+// parallel-stream terminals and RDD partition tasks share one bounded
+// executor.
 func ParMap[T, U any](xs []T, workers int, fn func(T) U) []U {
 	workers = parallelWorkers(workers)
 	metrics.IncArray()
 	out := make([]U, len(xs))
-	chunks := splitIndex(len(xs), workers)
-	var wg sync.WaitGroup
-	for _, c := range chunks {
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				metrics.IncIDynamic()
-				out[i] = fn(xs[i])
-			}
-		}(c[0], c[1])
-	}
-	metrics.IncPark()
-	wg.Wait()
+	forkjoin.Shared().ForMax(len(xs), 0, workers, func(lo, hi int) {
+		loc := metrics.Acquire()
+		for i := lo; i < hi; i++ {
+			loc.IncIDynamic()
+			out[i] = fn(xs[i])
+		}
+	})
 	return out
 }
 
@@ -343,22 +339,18 @@ func ParReduce[T, A any](xs []T, workers int, init func() A, fold func(A, T) A, 
 	workers = parallelWorkers(workers)
 	chunks := splitIndex(len(xs), workers)
 	partials := make([]A, len(chunks))
-	var wg sync.WaitGroup
-	for ci, c := range chunks {
-		wg.Add(1)
-		go func(ci, lo, hi int) {
-			defer wg.Done()
-			metrics.IncIDynamic()
+	forkjoin.Shared().ForMax(len(chunks), 1, workers, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			loc := metrics.Acquire()
+			loc.IncIDynamic()
 			acc := init()
-			for i := lo; i < hi; i++ {
-				metrics.IncIDynamic()
+			for i := chunks[ci][0]; i < chunks[ci][1]; i++ {
+				loc.IncIDynamic()
 				acc = fold(acc, xs[i])
 			}
 			partials[ci] = acc
-		}(ci, c[0], c[1])
-	}
-	metrics.IncPark()
-	wg.Wait()
+		}
+	})
 	metrics.IncIDynamic()
 	acc := init()
 	for _, p := range partials {
@@ -368,23 +360,17 @@ func ParReduce[T, A any](xs []T, workers int, init func() A, fold func(A, T) A, 
 	return acc
 }
 
-// ParForEach applies fn to every element using the given worker count.
+// ParForEach applies fn to every element with at most the given number of
+// concurrent executors, on the shared work-stealing pool.
 func ParForEach[T any](xs []T, workers int, fn func(T)) {
 	workers = parallelWorkers(workers)
-	chunks := splitIndex(len(xs), workers)
-	var wg sync.WaitGroup
-	for _, c := range chunks {
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				metrics.IncIDynamic()
-				fn(xs[i])
-			}
-		}(c[0], c[1])
-	}
-	metrics.IncPark()
-	wg.Wait()
+	forkjoin.Shared().ForMax(len(xs), 0, workers, func(lo, hi int) {
+		loc := metrics.Acquire()
+		for i := lo; i < hi; i++ {
+			loc.IncIDynamic()
+			fn(xs[i])
+		}
+	})
 }
 
 // splitIndex partitions [0, n) into at most k non-empty contiguous ranges.

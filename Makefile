@@ -5,15 +5,16 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/metrics ./internal/forkjoin ./internal/stm ./internal/core ./internal/netstack ./internal/futures ./internal/rdd ./internal/streams
+RACE_PKGS = ./internal/metrics ./internal/forkjoin ./internal/stm ./internal/core ./internal/netstack ./internal/futures ./internal/rdd ./internal/streams ./internal/actors ./internal/rx ./internal/mpsc
 
 # The fault-tolerance and engine-concurrency tests: harness panic/timeout
-# isolation, netstack drain/close, client retry and close races, plus the
-# data-parallel engine's executor/shuffle/fused-action interleavings.
-# `make stress` shakes them under the race detector repeatedly to catch
-# rare interleavings.
-STRESS_RUN = 'Close|Drain|Timeout|Race|Panic|Retry|Fault|Discard|Exchange|Executor|Fused|Nested'
-STRESS_PKGS = ./internal/core ./internal/netstack ./internal/futures ./internal/rdd ./internal/forkjoin
+# isolation, netstack drain/close, client retry and close races, the
+# data-parallel engine's executor/shuffle/fused-action interleavings, and
+# the actor runtime's shutdown/quiescence/fairness/steal races (plus the
+# MPSC queue and rx scheduler close races). `make stress` shakes them under
+# the race detector repeatedly to catch rare interleavings.
+STRESS_RUN = 'Close|Drain|Timeout|Race|Racing|Panic|Retry|Fault|Discard|Exchange|Executor|Fused|Nested|Quiesce|Flood|Steal|Registry|Scheduler|Queue|Mailbox|Ask'
+STRESS_PKGS = ./internal/core ./internal/netstack ./internal/futures ./internal/rdd ./internal/forkjoin ./internal/actors ./internal/rx ./internal/mpsc
 
 .PHONY: check vet build test race stress bench bench-all bench-ci bench-contention analyze
 
@@ -49,11 +50,13 @@ bench-contention:
 bench:
 	$(GO) test -run '^$$' -bench 'FusedVsMaterialized|LockedVsExchange' -benchmem -cpu 1,2,4,8 ./internal/rdd | tee BENCH_rdd.txt
 	$(GO) test -run '^$$' -bench 'FanOut' -benchmem -cpu 1,2,4,8 ./internal/forkjoin | tee BENCH_forkjoin.txt
+	$(GO) test -run '^$$' -bench 'ActorPingPong|ActorFanIn|ActorSpawnStorm|ActorAsk' -benchmem -cpu 1,2,4,8 ./internal/actors | tee BENCH_actors.txt
 
 # One-iteration smoke pass over the engine benchmarks for CI: proves they
 # still compile and run without paying full measurement time.
 bench-ci:
 	$(GO) test -run '^$$' -bench 'FusedVsMaterialized|LockedVsExchange|FanOut' -benchtime 1x -benchmem ./internal/rdd ./internal/forkjoin
+	$(GO) test -run '^$$' -bench 'ActorPingPong|ActorFanIn|ActorSpawnStorm|ActorAsk' -benchtime 1x -benchmem ./internal/actors
 
 # Every benchmark in the repo (paper figures included); slow.
 bench-all:

@@ -32,7 +32,7 @@ func main() {
 		case post:
 			transcript = append(transcript, m.from+": "+m.text)
 			for _, member := range members {
-				member.Tell(m)
+				ctx.Send(member, m) // worker-local fast path
 			}
 		case transcriptQuery:
 			ctx.Reply(append([]string(nil), transcript...))

@@ -2,19 +2,41 @@
 // Akka and the Reactors framework, used by the akka-uct and reactors
 // benchmarks (Table 1: "actors, message-passing"). Actors own a mailbox,
 // process one message at a time, and are multiplexed over a fixed pool of
-// scheduler workers. Message sends and mailbox scheduling use atomic
-// operations and mutex-protected queues, which is exactly the
-// concurrency-primitive profile the paper attributes to actor workloads.
+// scheduler workers.
+//
+// The runtime is lock-free on the per-message hot path:
+//
+//   - Each mailbox is a Vyukov-style intrusive MPSC queue (internal/mpsc)
+//     with pooled envelope nodes: a send is one atomic swap plus one atomic
+//     link store, and the consuming worker drains a batch wait-free without
+//     taking a lock per message.
+//   - Runnable actors are distributed over per-worker Chase–Lev deques
+//     (internal/forkjoin.Deque) with work stealing and a global lock-free
+//     inject queue for sends that originate off the scheduler; idle workers
+//     park on a wakeup channel instead of spinning.
+//   - The quiescence counter is striped into versioned per-worker cells and
+//     summed with a double-collect scan (see quiesce.go), so in-flight
+//     accounting never contends on one cache line.
+//   - The name registry is sharded, so Spawn/Lookup/Stop serialize only
+//     within one of 16 stripes.
+//
+// Per-message metric semantics (kept deterministic so PCA runs compare
+// across versions): each send bumps atomic by 3 (in-flight stripe, mailbox
+// swap, schedule CAS), each delivery bumps method by 1 (dispatch into the
+// behavior) and atomic by 1 (in-flight decrement). Steals, parks, and
+// notifies are scheduling events and are counted as they occur.
 package actors
 
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"renaissance/internal/metrics"
+	"renaissance/internal/mpsc"
 )
 
 // ErrSystemStopped is returned by operations on a shut-down system.
@@ -32,19 +54,43 @@ type ReceiverFunc func(ctx *Context, msg any)
 // Receive calls the function.
 func (f ReceiverFunc) Receive(ctx *Context, msg any) { f(ctx, msg) }
 
-// System is an actor system: a run queue served by worker goroutines, plus
-// in-flight message accounting used for quiescence detection.
-type System struct {
-	runq     chan *Ref
-	workers  int
-	wg       sync.WaitGroup
-	stopped  atomic.Bool
-	inFlight atomic.Int64
-	quiesce  chan struct{} // receives a token when inFlight drops to 0
+// regShards is the stripe count of the name registry. Spawn, Lookup, and
+// Stop lock only the stripe their name hashes to.
+const regShards = 16
 
-	mu     sync.Mutex
-	actors map[string]*Ref
-	nextID atomic.Int64
+type regShard struct {
+	mu sync.Mutex
+	m  map[string]*Ref
+	_  [24]byte // keep neighbouring stripes off one cache line
+}
+
+var regSeed = maphash.MakeSeed()
+
+// System is an actor system: per-worker run queues served by parked-when-idle
+// worker goroutines, plus striped in-flight accounting for quiescence
+// detection.
+type System struct {
+	workers []*worker
+	inject  mpsc.Queue[*Ref] // runnable actors enqueued off-scheduler
+	latch   atomic.Bool      // single-consumer latch for draining inject
+	wake    chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+	idle    atomic.Int64
+	// Steals counts successful run-queue steals, exposed for benches and
+	// the scheduling ablation.
+	Steals atomic.Int64
+
+	cells     [maxCells]quiesceCell
+	cellMask  int
+	numCells  int
+	waiters   atomic.Int64
+	quiesceCh chan struct{}
+
+	shards  [regShards]regShard
+	nextID  atomic.Int64
+	envPool *mpsc.Pool[envelope]
 }
 
 // NewSystem creates an actor system with the given number of scheduler
@@ -54,81 +100,110 @@ func NewSystem(workers int) *System {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	s := &System{
-		runq:    make(chan *Ref, 1024),
-		workers: workers,
-		quiesce: make(chan struct{}, 1),
-		actors:  make(map[string]*Ref),
+		wake:      make(chan struct{}, workers),
+		done:      make(chan struct{}),
+		quiesceCh: make(chan struct{}, 1),
+		envPool:   mpsc.NewPool[envelope](),
+	}
+	s.inject.Init(mpsc.NewPool[*Ref]())
+	s.numCells = quiesceCellCount(workers)
+	s.cellMask = s.numCells - 1
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*Ref)
 	}
 	for i := 0; i < workers; i++ {
+		w := &worker{
+			sys:   s,
+			id:    i,
+			cell:  i & s.cellMask,
+			rng:   uint64(i)*0x9E3779B97F4A7C15 + 1,
+			local: metrics.AcquireAt(i),
+		}
+		w.ctx = Context{sys: s, w: w}
+		s.workers = append(s.workers, w)
+	}
+	for _, w := range s.workers {
 		s.wg.Add(1)
-		go s.worker()
+		go w.run()
 	}
 	return s
 }
 
-func (s *System) worker() {
-	defer s.wg.Done()
-	for ref := range s.runq {
-		ref.processBatch()
-	}
+func (s *System) shardFor(name string) *regShard {
+	return &s.shards[maphash.String(regSeed, name)&(regShards-1)]
 }
 
 // Spawn creates a new actor with the given name (a unique suffix is added
 // when the name is already taken) and behavior, and returns its reference.
 func (s *System) Spawn(name string, r Receiver) *Ref {
+	return s.spawn(nil, name, r)
+}
+
+func (s *System) spawn(w *worker, name string, r Receiver) *Ref {
 	if s.stopped.Load() {
 		panic(ErrSystemStopped)
 	}
-	metrics.IncObject() // the actor itself
-	ref := &Ref{sys: s, recv: r}
-	metrics.IncSynch()
-	s.mu.Lock()
-	if _, taken := s.actors[name]; taken {
-		name = fmt.Sprintf("%s-%d", name, s.nextID.Add(1))
+	if w != nil {
+		w.local.IncObject() // the actor itself
+	} else {
+		metrics.IncObject()
 	}
-	ref.name = name
-	s.actors[name] = ref
-	s.mu.Unlock()
-	return ref
+	ref := &Ref{sys: s, recv: r, registered: true}
+	ref.mb.Init(s.envPool)
+	base := name
+	for {
+		sh := s.shardFor(name)
+		if w != nil {
+			w.local.IncSynch()
+		} else {
+			metrics.IncSynch()
+		}
+		sh.mu.Lock()
+		if _, taken := sh.m[name]; !taken {
+			ref.name = name
+			sh.m[name] = ref
+			sh.mu.Unlock()
+			return ref
+		}
+		sh.mu.Unlock()
+		// The id counter is monotone, so a fresh suffix collides only with
+		// a literal registration of that exact name; loop until free.
+		name = fmt.Sprintf("%s-%d", base, s.nextID.Add(1))
+	}
 }
 
 // Lookup returns the actor registered under name, if any.
 func (s *System) Lookup(name string) (*Ref, bool) {
+	sh := s.shardFor(name)
 	metrics.IncSynch()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ref, ok := s.actors[name]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ref, ok := sh.m[name]
 	return ref, ok
 }
 
-// ActorCount returns the number of live actors.
+// ActorCount returns the number of live registered actors.
 func (s *System) ActorCount() int {
-	metrics.IncSynch()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.actors)
-}
-
-// AwaitQuiescence blocks until no messages are in flight. It is the
-// termination-detection mechanism used by tree-computation workloads such
-// as akka-uct.
-func (s *System) AwaitQuiescence() {
-	metrics.IncAtomic()
-	if s.inFlight.Load() == 0 {
-		return
+	n := 0
+	for i := range s.shards {
+		metrics.IncSynch()
+		s.shards[i].mu.Lock()
+		n += len(s.shards[i].m)
+		s.shards[i].mu.Unlock()
 	}
-	metrics.IncPark()
-	<-s.quiesce
+	return n
 }
 
-// Shutdown stops the workers after the run queue drains. Pending messages
-// that were already enqueued are still processed.
+// Shutdown stops the workers after in-flight messages drain. Pending
+// messages that were already enqueued are still processed. A Tell racing
+// Shutdown is delivered or becomes a dead letter; it never panics (the
+// previous runtime could send on a closed run-queue channel here).
 func (s *System) Shutdown() {
 	if s.stopped.Swap(true) {
 		return
 	}
 	s.AwaitQuiescence()
-	close(s.runq)
+	close(s.done)
 	s.wg.Wait()
 }
 
@@ -145,10 +220,10 @@ type Ref struct {
 	name string
 	recv Receiver
 
-	mu      sync.Mutex
-	queue   []envelope
-	state   atomic.Int32
-	stopped atomic.Bool
+	mb         mpsc.Queue[envelope]
+	state      atomic.Int32
+	stopped    atomic.Bool
+	registered bool // ephemeral Ask reply refs skip the registry
 }
 
 type envelope struct {
@@ -160,84 +235,93 @@ type envelope struct {
 func (r *Ref) Name() string { return r.name }
 
 // Tell enqueues a message for the actor with no sender.
-func (r *Ref) Tell(msg any) { r.send(msg, nil) }
+func (r *Ref) Tell(msg any) { r.enqueue(msg, nil, nil) }
 
 // TellFrom enqueues a message with an explicit sender reference.
-func (r *Ref) TellFrom(msg any, sender *Ref) { r.send(msg, sender) }
+func (r *Ref) TellFrom(msg any, sender *Ref) { r.enqueue(msg, sender, nil) }
 
-func (r *Ref) send(msg any, sender *Ref) {
+// enqueue is the send hot path. w, when non-nil, is the scheduler worker on
+// whose goroutine the send executes (sends made through a Context during
+// Receive): its run queue and pinned metric shard and in-flight cell are
+// used, so the whole send is three uncontended-or-lock-free atomics.
+func (r *Ref) enqueue(msg any, sender *Ref, w *worker) {
 	if r.stopped.Load() || r.sys.stopped.Load() {
 		return // dead letter
 	}
-	metrics.IncAtomic()
-	r.sys.inFlight.Add(1)
-
-	metrics.IncSynch()
-	r.mu.Lock()
-	r.queue = append(r.queue, envelope{msg, sender})
-	r.mu.Unlock()
-
-	r.schedule()
+	if w != nil && w.sys != r.sys {
+		w = nil // cross-system send: the hint's queues belong elsewhere
+	}
+	// Deterministic per-send accounting: in-flight bump + mailbox swap +
+	// schedule CAS, counted identically however the send is scheduled.
+	if w != nil {
+		w.local.AddAtomic(3)
+		r.sys.incInFlightAt(w.cell)
+	} else {
+		metrics.AddAtomic(3)
+		r.sys.incInFlightAt(hashedCell(r.sys.cellMask))
+	}
+	r.mb.Push(envelope{msg, sender})
+	r.schedule(w)
 }
 
 // schedule transitions the mailbox from idle to scheduled with a CAS and
-// puts the actor on the run queue; if it is already scheduled the running
-// worker will observe the new message.
-func (r *Ref) schedule() {
-	metrics.IncAtomic()
+// puts the actor on a run queue: the sending worker's own deque when the
+// send originates on the scheduler, the lock-free inject queue otherwise.
+// If the actor is already scheduled, the holder of its slot will observe
+// the new message.
+func (r *Ref) schedule(w *worker) {
 	if r.state.CompareAndSwap(idle, scheduled) {
-		r.sys.runq <- r
+		if w != nil {
+			w.dq.Push(r)
+		} else {
+			r.sys.inject.Push(r)
+		}
+		r.sys.signal()
 	}
 }
 
 // batchSize bounds how many messages one scheduling slot processes, so a
 // flooding actor cannot starve others (fair scheduling like Akka's
-// throughput parameter).
+// throughput parameter). An exhausted batch requeues at the back of the
+// global inject queue, behind every other runnable actor.
 const batchSize = 64
 
-func (r *Ref) processBatch() {
+// processBatch drains up to batchSize messages on worker w, which holds the
+// actor's scheduling slot.
+func (r *Ref) processBatch(w *worker) {
 	processed := 0
 	for processed < batchSize {
-		metrics.IncSynch()
-		r.mu.Lock()
-		if len(r.queue) == 0 {
-			r.mu.Unlock()
-			break
+		env, ok := r.mb.Pop()
+		if !ok {
+			if r.mb.Empty() {
+				break
+			}
+			// A producer swapped the head but has not linked its node
+			// yet; its next store lands imminently.
+			runtime.Gosched()
+			continue
 		}
-		env := r.queue[0]
-		r.queue = r.queue[1:]
-		r.mu.Unlock()
-
 		if !r.stopped.Load() {
-			ctx := &Context{sys: r.sys, self: r, sender: env.sender}
-			metrics.IncMethod() // dynamic dispatch into the behavior
-			r.recv.Receive(ctx, env.msg)
+			w.ctx.self = r
+			w.ctx.sender = env.sender
+			w.local.IncMethod() // dynamic dispatch into the behavior
+			r.recv.Receive(&w.ctx, env.msg)
 		}
-		r.sys.messageDone()
+		r.sys.messageDone(w)
 		processed++
 	}
-
-	// Release the scheduling slot and re-schedule if messages remain (or
-	// raced in after the emptiness check).
-	r.state.Store(idle)
-	metrics.IncAtomic()
-	metrics.IncSynch()
-	r.mu.Lock()
-	pending := len(r.queue)
-	r.mu.Unlock()
-	if pending > 0 {
-		r.schedule()
+	if processed == batchSize && !r.mb.Empty() {
+		// Fairness: keep the slot (state stays scheduled — producers must
+		// not double-enqueue us) but go to the back of the global queue.
+		r.sys.inject.Push(r)
+		r.sys.signal()
+		return
 	}
-}
-
-func (s *System) messageDone() {
-	metrics.IncAtomic()
-	if s.inFlight.Add(-1) == 0 {
-		metrics.IncNotify()
-		select {
-		case s.quiesce <- struct{}{}:
-		default:
-		}
+	// Release the scheduling slot and reclaim it if messages raced in
+	// after the emptiness check.
+	r.state.Store(idle)
+	if !r.mb.Empty() {
+		r.schedule(w)
 	}
 }
 
@@ -245,17 +329,27 @@ func (s *System) messageDone() {
 // queued messages are skipped (but still accounted).
 func (r *Ref) Stop() {
 	r.stopped.Store(true)
+	if !r.registered {
+		return
+	}
+	sh := r.sys.shardFor(r.name)
 	metrics.IncSynch()
-	r.sys.mu.Lock()
-	delete(r.sys.actors, r.name)
-	r.sys.mu.Unlock()
+	sh.mu.Lock()
+	if sh.m[r.name] == r {
+		delete(sh.m, r.name)
+	}
+	sh.mu.Unlock()
 }
 
-// Context is passed to Receive and exposes the runtime to behaviors.
+// Context is passed to Receive and exposes the runtime to behaviors. It is
+// owned by the delivering scheduler worker and valid only for the duration
+// of the Receive invocation; behaviors that need a handle past that must
+// capture Self()/Sender() refs, not the Context.
 type Context struct {
 	sys    *System
 	self   *Ref
 	sender *Ref
+	w      *worker
 }
 
 // Self returns the reference of the actor processing the message.
@@ -268,23 +362,40 @@ func (c *Context) Sender() *Ref { return c.sender }
 func (c *Context) System() *System { return c.sys }
 
 // Spawn creates a child actor.
-func (c *Context) Spawn(name string, r Receiver) *Ref { return c.sys.Spawn(name, r) }
+func (c *Context) Spawn(name string, r Receiver) *Ref {
+	return c.sys.spawn(c.w, name, r)
+}
+
+// Send delivers msg to the target with this actor as the sender, scheduling
+// the target on the delivering worker's own run queue — the fast path for
+// actor-to-actor sends (an Akka-style implicit sender).
+func (c *Context) Send(to *Ref, msg any) {
+	to.enqueue(msg, c.self, c.w)
+}
 
 // Reply sends a message back to the sender, if there is one.
 func (c *Context) Reply(msg any) {
 	if c.sender != nil {
-		c.sender.TellFrom(msg, c.self)
+		c.sender.enqueue(msg, c.self, c.w)
 	}
 }
 
 // Ask sends msg to the actor and returns a channel that receives the single
-// reply. It spawns a lightweight reply actor, mirroring Akka's ask pattern.
+// reply, mirroring Akka's ask pattern. The reply target is an ephemeral,
+// unregistered ref: repeated Asks take no registry locks, churn no name
+// suffixes, and are allocation-flat.
 func (r *Ref) Ask(msg any) <-chan any {
 	reply := make(chan any, 1)
-	tmp := r.sys.Spawn("ask", ReceiverFunc(func(ctx *Context, m any) {
-		reply <- m
+	metrics.IncObject()
+	tmp := &Ref{sys: r.sys, name: "ask"}
+	tmp.mb.Init(r.sys.envPool)
+	tmp.recv = ReceiverFunc(func(ctx *Context, m any) {
+		select {
+		case reply <- m:
+		default: // a second reply after the first; drop it
+		}
 		ctx.Self().Stop()
-	}))
+	})
 	r.TellFrom(msg, tmp)
 	return reply
 }

@@ -1,0 +1,349 @@
+package actors
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A Tell racing Shutdown must never panic (the previous runtime could send
+// on the closed run-queue channel in this window) — the message is either
+// delivered or becomes a dead letter. Run under -race -count=5 by `make
+// stress`.
+func TestSendShutdownRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		sys := NewSystem(4)
+		var received atomic.Int64
+		a := sys.Spawn("target", ReceiverFunc(func(ctx *Context, msg any) {
+			received.Add(1)
+		}))
+
+		const senders = 4
+		const perSender = 200
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < senders; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for j := 0; j < perSender; j++ {
+					a.Tell(j) // must never panic, even mid-Shutdown
+				}
+			}()
+		}
+		close(start)
+		sys.Shutdown() // races the senders
+		wg.Wait()
+		if got := received.Load(); got > senders*perSender {
+			t.Fatalf("received %d messages, sent only %d", got, senders*perSender)
+		}
+	}
+}
+
+// A flooding actor that always has mail must not starve its peers: the
+// batch bound forces it to requeue at the back of the global inject queue,
+// behind every other runnable actor. With a single worker this is a strict
+// fairness test — the victim's one message must still be delivered while
+// the flooder self-perpetuates.
+func TestFloodingActorFairness(t *testing.T) {
+	sys := NewSystem(1)
+	defer sys.Shutdown()
+
+	stop := make(chan struct{})
+	flooder := sys.Spawn("flooder", ReceiverFunc(func(ctx *Context, msg any) {
+		select {
+		case <-stop:
+		default:
+			ctx.Send(ctx.Self(), msg) // keep our own mailbox hot forever
+		}
+	}))
+	// Prime the flooder with a full batch so its slot is always exhausted.
+	for i := 0; i < batchSize*2; i++ {
+		flooder.Tell(i)
+	}
+
+	victimDone := make(chan struct{})
+	victim := sys.Spawn("victim", ReceiverFunc(func(ctx *Context, msg any) {
+		close(victimDone)
+	}))
+	victim.Tell("ping")
+
+	select {
+	case <-victimDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("victim starved by flooding actor; batch fairness broken")
+	}
+	close(stop)
+	sys.AwaitQuiescence()
+}
+
+// AwaitQuiescence racing the final messageDone: the striped, versioned
+// in-flight counter must never report quiescence while a forwarding chain
+// still has a message in flight. Every round asserts the full count the
+// instant AwaitQuiescence returns — an early report loses increments.
+func TestQuiesceNotEarlyUnderChains(t *testing.T) {
+	sys := NewSystem(4)
+	defer sys.Shutdown()
+
+	const chains = 8
+	const chainLen = 20
+	const rounds = 30
+
+	var delivered atomic.Int64
+	roots := make([]*Ref, chains)
+	for c := 0; c < chains; c++ {
+		next := sys.Spawn("sink", ReceiverFunc(func(ctx *Context, msg any) {
+			delivered.Add(1)
+		}))
+		for i := 0; i < chainLen; i++ {
+			target := next
+			next = sys.Spawn("stage", ReceiverFunc(func(ctx *Context, msg any) {
+				ctx.Send(target, msg)
+			}))
+		}
+		roots[c] = next
+	}
+
+	for round := 1; round <= rounds; round++ {
+		for _, root := range roots {
+			root.Tell(round)
+		}
+		sys.AwaitQuiescence()
+		if got := delivered.Load(); got != int64(round*chains) {
+			t.Fatalf("round %d: AwaitQuiescence returned early: %d/%d deliveries",
+				round, got, round*chains)
+		}
+	}
+}
+
+// Stop racing Tell: sends and the stop flag race freely; the run must be
+// race-clean, quiescence must still be reached (skipped messages stay
+// accounted), and no message may arrive after Stop's effects are visible.
+func TestStopRacingTellQuiesces(t *testing.T) {
+	for round := 0; round < 30; round++ {
+		sys := NewSystem(2)
+		var received atomic.Int64
+		a := sys.Spawn("stopme", ReceiverFunc(func(ctx *Context, msg any) {
+			received.Add(1)
+		}))
+
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				a.Tell(i)
+			}
+		}()
+		runtime.Gosched()
+		a.Stop()
+		wg.Wait()
+		sys.AwaitQuiescence() // must not hang on dropped/skipped accounting
+		if got := received.Load(); got > 2000 {
+			t.Fatalf("received %d > sent 2000", got)
+		}
+		sys.Shutdown()
+	}
+}
+
+// Quiescence under adversarial load: a flooder with a bounded fuse, fan-in
+// producers, and concurrent AwaitQuiescence callers must all agree on
+// termination, with every send accounted.
+func TestQuiesceUnderAdversarialLoad(t *testing.T) {
+	sys := NewSystem(4)
+	defer sys.Shutdown()
+
+	var count atomic.Int64
+	var expect int64
+
+	// Flooder: each message below the fuse re-sends twice — a burst tree.
+	const fuseDepth = 8
+	var flooder *Ref
+	flooder = sys.Spawn("burst", ReceiverFunc(func(ctx *Context, msg any) {
+		count.Add(1)
+		d := msg.(int)
+		if d < fuseDepth {
+			ctx.Send(ctx.Self(), d+1)
+			ctx.Send(ctx.Self(), d+1)
+		}
+	}))
+	flooder.Tell(0)
+	expect += 1<<(fuseDepth+1) - 1
+
+	// Fan-in from off-scheduler goroutines.
+	sink := sys.Spawn("sink", ReceiverFunc(func(ctx *Context, msg any) {
+		count.Add(1)
+	}))
+	const producers = 4
+	const perProducer = 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				sink.Tell(i)
+			}
+		}()
+	}
+	expect += producers * perProducer
+	wg.Wait() // all sends issued (and counted in flight) before awaiting
+
+	done := make(chan struct{})
+	for i := 0; i < 3; i++ { // concurrent waiters must all wake
+		go func() {
+			sys.AwaitQuiescence()
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("AwaitQuiescence hung (missed wakeup)")
+		}
+	}
+	if got := count.Load(); got != expect {
+		t.Fatalf("delivered %d, want %d", got, expect)
+	}
+}
+
+// Ask must not touch the registry: the reply target is an ephemeral ref, so
+// repeated Asks churn no names and take no registry locks.
+func TestAskEphemeralNotRegistered(t *testing.T) {
+	sys := NewSystem(2)
+	defer sys.Shutdown()
+
+	echo := sys.Spawn("echo", ReceiverFunc(func(ctx *Context, msg any) {
+		ctx.Reply(msg)
+	}))
+	for i := 0; i < 100; i++ {
+		select {
+		case got := <-echo.Ask(i):
+			if got != i {
+				t.Fatalf("ask %d: got %v", i, got)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("ask %d timed out", i)
+		}
+		if _, ok := sys.Lookup("ask"); ok {
+			t.Fatal("Ask registered its reply actor")
+		}
+		if n := sys.ActorCount(); n != 1 {
+			t.Fatalf("ActorCount = %d after %d asks, want 1 (no registry churn)", n, i+1)
+		}
+	}
+}
+
+// A flooded-then-drained mailbox must release its payload buffers: envelope
+// nodes are pooled and their message references cleared on dequeue, so the
+// GC can reclaim every payload. This is the regression test for the old
+// mutex mailbox, whose `queue = queue[1:]` drain pinned the slice head (and
+// everything it referenced) until the next reallocation.
+func TestMailboxFloodDrainReleasesBuffers(t *testing.T) {
+	sys := NewSystem(2)
+	defer sys.Shutdown()
+
+	a := sys.Spawn("hoarder", ReceiverFunc(func(ctx *Context, msg any) {}))
+
+	type payload struct{ buf [4096]byte }
+	const n = 200
+	collected := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		p := &payload{}
+		runtime.SetFinalizer(p, func(*payload) { collected <- struct{}{} })
+		a.Tell(p)
+	}
+	sys.AwaitQuiescence() // mailbox fully drained
+
+	if !a.mb.Empty() {
+		t.Fatal("drained mailbox still holds envelopes")
+	}
+	deadline := time.After(10 * time.Second)
+	for got := 0; got < n; {
+		runtime.GC()
+		select {
+		case <-collected:
+			got++
+		case <-deadline:
+			t.Fatalf("only %d/%d payloads collected; mailbox retains drained buffers", got, n)
+		}
+	}
+}
+
+// Registry sharding: concurrent Spawn/Lookup/Stop across many names must be
+// race-clean and keep counts exact.
+func TestRegistryShardedConcurrentSpawnStop(t *testing.T) {
+	sys := NewSystem(4)
+	defer sys.Shutdown()
+
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			refs := make([]*Ref, 0, perG)
+			for i := 0; i < perG; i++ {
+				refs = append(refs, sys.Spawn("worker", ReceiverFunc(func(*Context, any) {})))
+			}
+			for _, r := range refs {
+				if got, ok := sys.Lookup(r.Name()); !ok || got != r {
+					t.Errorf("lookup %q failed after spawn", r.Name())
+					return
+				}
+			}
+			for _, r := range refs {
+				r.Stop()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := sys.ActorCount(); n != 0 {
+		t.Fatalf("ActorCount = %d after all stops, want 0", n)
+	}
+}
+
+// The scheduler must actually steal: a single actor fanning out to children
+// fills one worker's deque, and the other workers must take from it. Forces
+// real parallelism — on one P the victim drains its own deque before a
+// thief ever gets scheduled.
+func TestStealAcrossWorkers(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	sys := NewSystem(4)
+	defer sys.Shutdown()
+
+	var hits atomic.Int64
+	var spin atomic.Int64
+	children := make([]*Ref, 256)
+	for i := range children {
+		children[i] = sys.Spawn("child", ReceiverFunc(func(ctx *Context, msg any) {
+			for i := 0; i < 200; i++ { // give thieves a window
+				spin.Add(1)
+			}
+			hits.Add(1)
+		}))
+	}
+	fan := sys.Spawn("fan", ReceiverFunc(func(ctx *Context, msg any) {
+		for _, c := range children {
+			ctx.Send(c, msg) // all land on this worker's own deque
+		}
+	}))
+
+	deadline := time.Now().Add(20 * time.Second)
+	for round := 0; sys.Steals.Load() == 0; round++ {
+		if time.Now().After(deadline) {
+			t.Fatal("no steals observed; work stays pinned to one worker")
+		}
+		fan.Tell(round)
+		sys.AwaitQuiescence()
+	}
+	if hits.Load() == 0 {
+		t.Fatal("no child deliveries")
+	}
+}

@@ -1,0 +1,194 @@
+package actors
+
+// The pre-MPSC actor runtime, kept as a bench-local copy so the comparative
+// benchmarks (bench_actors_test.go) measure the real seed hot path: a
+// mutex-guarded slice mailbox (two lock acquisitions per message: append on
+// send, shift on drain), one global run-queue channel shared by every
+// worker, a single-mutex registry, and one global in-flight counter. Not
+// compiled into the library; see `make bench` / BENCH_actors.txt.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"renaissance/internal/metrics"
+)
+
+type oldSystem struct {
+	runq     chan *oldRef
+	wg       sync.WaitGroup
+	stopped  atomic.Bool
+	inFlight atomic.Int64
+	quiesce  chan struct{}
+
+	mu     sync.Mutex
+	actors map[string]*oldRef
+	nextID atomic.Int64
+}
+
+func newOldSystem(workers int) *oldSystem {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &oldSystem{
+		runq:    make(chan *oldRef, 1024),
+		quiesce: make(chan struct{}, 1),
+		actors:  make(map[string]*oldRef),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for ref := range s.runq {
+				ref.processBatch()
+			}
+		}()
+	}
+	return s
+}
+
+func (s *oldSystem) Spawn(name string, recv func(*oldContext, any)) *oldRef {
+	metrics.IncObject()
+	ref := &oldRef{sys: s, recv: recv}
+	metrics.IncSynch()
+	s.mu.Lock()
+	if _, taken := s.actors[name]; taken {
+		name = fmt.Sprintf("%s-%d", name, s.nextID.Add(1))
+	}
+	ref.name = name
+	s.actors[name] = ref
+	s.mu.Unlock()
+	return ref
+}
+
+func (s *oldSystem) AwaitQuiescence() {
+	metrics.IncAtomic()
+	if s.inFlight.Load() == 0 {
+		return
+	}
+	metrics.IncPark()
+	<-s.quiesce
+}
+
+func (s *oldSystem) Shutdown() {
+	if s.stopped.Swap(true) {
+		return
+	}
+	s.AwaitQuiescence()
+	close(s.runq)
+	s.wg.Wait()
+}
+
+func (s *oldSystem) messageDone() {
+	metrics.IncAtomic()
+	if s.inFlight.Add(-1) == 0 {
+		metrics.IncNotify()
+		select {
+		case s.quiesce <- struct{}{}:
+		default:
+		}
+	}
+}
+
+type oldRef struct {
+	sys  *oldSystem
+	name string
+	recv func(*oldContext, any)
+
+	mu      sync.Mutex
+	queue   []oldEnvelope
+	state   atomic.Int32
+	stopped atomic.Bool
+}
+
+type oldEnvelope struct {
+	msg    any
+	sender *oldRef
+}
+
+func (r *oldRef) Tell(msg any)                     { r.send(msg, nil) }
+func (r *oldRef) TellFrom(msg any, sender *oldRef) { r.send(msg, sender) }
+
+func (r *oldRef) send(msg any, sender *oldRef) {
+	if r.stopped.Load() || r.sys.stopped.Load() {
+		return
+	}
+	metrics.IncAtomic()
+	r.sys.inFlight.Add(1)
+	metrics.IncSynch()
+	r.mu.Lock()
+	r.queue = append(r.queue, oldEnvelope{msg, sender})
+	r.mu.Unlock()
+	r.schedule()
+}
+
+func (r *oldRef) schedule() {
+	metrics.IncAtomic()
+	if r.state.CompareAndSwap(idle, scheduled) {
+		r.sys.runq <- r
+	}
+}
+
+func (r *oldRef) processBatch() {
+	processed := 0
+	for processed < batchSize {
+		metrics.IncSynch()
+		r.mu.Lock()
+		if len(r.queue) == 0 {
+			r.mu.Unlock()
+			break
+		}
+		env := r.queue[0]
+		r.queue = r.queue[1:]
+		r.mu.Unlock()
+
+		if !r.stopped.Load() {
+			ctx := &oldContext{sys: r.sys, self: r, sender: env.sender}
+			metrics.IncMethod()
+			r.recv(ctx, env.msg)
+		}
+		r.sys.messageDone()
+		processed++
+	}
+	r.state.Store(idle)
+	metrics.IncAtomic()
+	metrics.IncSynch()
+	r.mu.Lock()
+	pending := len(r.queue)
+	r.mu.Unlock()
+	if pending > 0 {
+		r.schedule()
+	}
+}
+
+func (r *oldRef) Stop() {
+	r.stopped.Store(true)
+	metrics.IncSynch()
+	r.sys.mu.Lock()
+	delete(r.sys.actors, r.name)
+	r.sys.mu.Unlock()
+}
+
+func (r *oldRef) Ask(msg any) <-chan any {
+	reply := make(chan any, 1)
+	tmp := r.sys.Spawn("ask", func(ctx *oldContext, m any) {
+		reply <- m
+		ctx.self.Stop()
+	})
+	r.TellFrom(msg, tmp)
+	return reply
+}
+
+type oldContext struct {
+	sys    *oldSystem
+	self   *oldRef
+	sender *oldRef
+}
+
+func (c *oldContext) Reply(msg any) {
+	if c.sender != nil {
+		c.sender.TellFrom(msg, c.self)
+	}
+}

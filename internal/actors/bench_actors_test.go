@@ -1,0 +1,182 @@
+package actors
+
+// Comparative benchmarks: the lock-free runtime (MPSC mailboxes, per-worker
+// Chase–Lev run queues, sharded registry, striped quiescence) against the
+// bench-local seed copy (mutex mailbox, one global run-queue channel, one
+// registry mutex, one global in-flight counter). Run with
+//
+//	make bench    # -cpu 1,2,4,8, teed to BENCH_actors.txt
+//
+// Shapes mirror the paper's actor workloads: ping-pong latency (reactors),
+// fan-in throughput (reactors' counting protocol), and an akka-uct-style
+// spawn storm. One benchmark op is one message, one spawn+message, or one
+// ask round-trip respectively.
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// --- ping-pong: two actors bouncing a counter; one op = one message hop ---
+
+func BenchmarkActorPingPongMPSC(b *testing.B) {
+	sys := NewSystem(2)
+	defer sys.Shutdown()
+	done := make(chan struct{})
+	n := b.N
+	pong := sys.Spawn("pong", ReceiverFunc(func(ctx *Context, msg any) {
+		ctx.Reply(msg)
+	}))
+	var ping *Ref
+	ping = sys.Spawn("ping", ReceiverFunc(func(ctx *Context, msg any) {
+		k := msg.(int)
+		if k >= n {
+			close(done)
+			return
+		}
+		ctx.Send(pong, k+1)
+	}))
+	b.ResetTimer()
+	ping.Tell(0)
+	<-done
+}
+
+func BenchmarkActorPingPongMutex(b *testing.B) {
+	sys := newOldSystem(2)
+	defer sys.Shutdown()
+	done := make(chan struct{})
+	n := b.N
+	pong := sys.Spawn("pong", func(ctx *oldContext, msg any) {
+		ctx.Reply(msg)
+	})
+	var ping *oldRef
+	ping = sys.Spawn("ping", func(ctx *oldContext, msg any) {
+		k := msg.(int)
+		if k >= n {
+			close(done)
+			return
+		}
+		pong.TellFrom(k+1, ping)
+	})
+	b.ResetTimer()
+	ping.Tell(0)
+	<-done
+}
+
+// --- fan-in: 4 producer goroutines flooding one counter actor ---
+
+const fanInProducers = 4
+
+func BenchmarkActorFanInMPSC(b *testing.B) {
+	sys := NewSystem(4)
+	defer sys.Shutdown()
+	done := make(chan struct{})
+	var seen atomic.Int64
+	n := int64(b.N)
+	counter := sys.Spawn("counter", ReceiverFunc(func(ctx *Context, msg any) {
+		if seen.Add(1) == n {
+			close(done)
+		}
+	}))
+	b.ResetTimer()
+	for p := 0; p < fanInProducers; p++ {
+		share := b.N / fanInProducers
+		if p == 0 {
+			share += b.N % fanInProducers
+		}
+		go func(share int) {
+			for i := 0; i < share; i++ {
+				counter.Tell(i)
+			}
+		}(share)
+	}
+	if b.N > 0 {
+		<-done
+	}
+}
+
+func BenchmarkActorFanInMutex(b *testing.B) {
+	sys := newOldSystem(4)
+	defer sys.Shutdown()
+	done := make(chan struct{})
+	var seen atomic.Int64
+	n := int64(b.N)
+	counter := sys.Spawn("counter", func(ctx *oldContext, msg any) {
+		if seen.Add(1) == n {
+			close(done)
+		}
+	})
+	b.ResetTimer()
+	for p := 0; p < fanInProducers; p++ {
+		share := b.N / fanInProducers
+		if p == 0 {
+			share += b.N % fanInProducers
+		}
+		go func(share int) {
+			for i := 0; i < share; i++ {
+				counter.Tell(i)
+			}
+		}(share)
+	}
+	if b.N > 0 {
+		<-done
+	}
+}
+
+// --- spawn storm: akka-uct's shape — spawn a node under a contended name,
+// visit it once, stop it (registry insert + delete per op) ---
+
+func BenchmarkActorSpawnStormMPSC(b *testing.B) {
+	sys := NewSystem(4)
+	defer sys.Shutdown()
+	behavior := ReceiverFunc(func(ctx *Context, msg any) {
+		ctx.Self().Stop()
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Spawn("uct", behavior).Tell(i)
+	}
+	sys.AwaitQuiescence()
+}
+
+func BenchmarkActorSpawnStormMutex(b *testing.B) {
+	sys := newOldSystem(4)
+	defer sys.Shutdown()
+	behavior := func(ctx *oldContext, msg any) {
+		ctx.self.Stop()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Spawn("uct", behavior).Tell(i)
+	}
+	sys.AwaitQuiescence()
+}
+
+// --- ask: one op = one ask round-trip. The MPSC path must be
+// allocation-flat (ephemeral unregistered reply ref, no name churn) ---
+
+func BenchmarkActorAskMPSC(b *testing.B) {
+	sys := NewSystem(2)
+	defer sys.Shutdown()
+	echo := sys.Spawn("echo", ReceiverFunc(func(ctx *Context, msg any) {
+		ctx.Reply(msg)
+	}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		<-echo.Ask(i)
+	}
+}
+
+func BenchmarkActorAskMutex(b *testing.B) {
+	sys := newOldSystem(2)
+	defer sys.Shutdown()
+	echo := sys.Spawn("echo", func(ctx *oldContext, msg any) {
+		ctx.Reply(msg)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		<-echo.Ask(i)
+	}
+}

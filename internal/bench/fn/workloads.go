@@ -58,7 +58,7 @@ func (w *fnActorsWorkload) RunIteration() error {
 					}
 					return
 				}
-				refs[(i+1)%ringSize].Tell(n + 1)
+				ctx.Send(refs[(i+1)%ringSize], n+1)
 			}))
 		}
 		refs[0].Tell(0)

@@ -91,7 +91,9 @@ func (w *uctWorkload) RunIteration() error {
 		k := fanout(v.depth, v.path)
 		for c := 0; c < k; c++ {
 			child := ctx.Spawn("uct", behavior)
-			child.Tell(uctVisit{v.depth + 1, v.path*4 + int64(c) + 1})
+			// ctx.Send pushes onto this worker's own run queue (no inject
+			// contention); idle workers steal the surplus.
+			ctx.Send(child, uctVisit{v.depth + 1, v.path*4 + int64(c) + 1})
 		}
 	}
 	root := sys.Spawn("root", behavior)
@@ -145,7 +147,7 @@ func (w *reactorsWorkload) RunIteration() error {
 				done <- n
 				return
 			}
-			pong.TellFrom(n, ping)
+			ctx.Send(pong, n)
 		}))
 		ping.Tell(0)
 	}
@@ -158,7 +160,7 @@ func (w *reactorsWorkload) RunIteration() error {
 		p := p
 		producer := sys.Spawn("producer", actors.ReceiverFunc(func(ctx *actors.Context, msg any) {
 			for i := 0; i < w.rounds/8; i++ {
-				counter.Tell(p + 1)
+				ctx.Send(counter, p+1)
 			}
 		}))
 		producer.Tell("go")
@@ -173,7 +175,7 @@ func (w *reactorsWorkload) RunIteration() error {
 	for i := 0; i < chainLen; i++ {
 		target := next
 		next = sys.Spawn("stage", actors.ReceiverFunc(func(ctx *actors.Context, msg any) {
-			target.Tell(msg)
+			ctx.Send(target, msg)
 		}))
 	}
 	for i := 0; i < w.rounds/4; i++ {

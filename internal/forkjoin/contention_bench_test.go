@@ -56,9 +56,13 @@ func (d *mutexDeque) size() int64 {
 	return int64(len(d.tasks))
 }
 
-func (d *deque) size() int64 {
-	return d.bottom.Load() - d.top.Load()
-}
+// chaseLev adapts the generic Deque to the bench interface.
+type chaseLev struct{ d Deque[Task] }
+
+func (c *chaseLev) push(t *Task) { c.d.Push(t) }
+func (c *chaseLev) pop() *Task   { return c.d.Pop() }
+func (c *chaseLev) steal() *Task { return c.d.Steal() }
+func (c *chaseLev) size() int64  { return c.d.Size() }
 
 type benchDeque interface {
 	push(*Task)
@@ -116,7 +120,7 @@ func BenchmarkDequeMutexOwnerUnderSteal(b *testing.B) {
 }
 
 func BenchmarkDequeChaseLevOwnerUnderSteal(b *testing.B) {
-	benchOwnerUnderSteal(b, &deque{})
+	benchOwnerUnderSteal(b, &chaseLev{})
 }
 
 // benchStealThroughput measures aggregate steal throughput: one producer
@@ -156,7 +160,7 @@ func BenchmarkDequeMutexStealThroughput(b *testing.B) {
 }
 
 func BenchmarkDequeChaseLevStealThroughput(b *testing.B) {
-	benchStealThroughput(b, &deque{})
+	benchStealThroughput(b, &chaseLev{})
 }
 
 // The "as wired" pair compares the scheduler hot path as each version of
@@ -215,14 +219,14 @@ func (d *seedWiredDeque) size() int64 {
 // the hash spreads the bench's anonymous thieves across shards the same
 // way).
 type wiredChaseLev struct {
-	d   deque
+	d   Deque[Task]
 	loc metrics.Local
 }
 
-func (w *wiredChaseLev) push(t *Task) { w.loc.IncAtomic(); w.d.push(t) }
-func (w *wiredChaseLev) pop() *Task   { w.loc.IncAtomic(); return w.d.pop() }
-func (w *wiredChaseLev) steal() *Task { metrics.IncAtomic(); return w.d.steal() }
-func (w *wiredChaseLev) size() int64  { return w.d.size() }
+func (w *wiredChaseLev) push(t *Task) { w.loc.IncAtomic(); w.d.Push(t) }
+func (w *wiredChaseLev) pop() *Task   { w.loc.IncAtomic(); return w.d.Pop() }
+func (w *wiredChaseLev) steal() *Task { metrics.IncAtomic(); return w.d.Steal() }
+func (w *wiredChaseLev) size() int64  { return w.d.Size() }
 
 func BenchmarkDequeSeedWiredOwnerUnderSteal(b *testing.B) {
 	benchOwnerUnderSteal(b, &seedWiredDeque{})

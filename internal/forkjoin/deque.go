@@ -5,32 +5,36 @@
 // replaces the earlier mutex-guarded slice deque, whose steal path shifted
 // the slice head (`tasks = tasks[1:]`) and thereby pinned every stolen task
 // in the backing array until the next reallocation.
+//
+// The deque is generic so that every per-worker run queue in the repo can
+// share one implementation: the fork–join pool stores *Task, and the actor
+// scheduler stores *actors.Ref (runnable mailboxes).
 package forkjoin
 
 import "sync/atomic"
 
-// ring is a power-of-two circular array of task slots. Slots are accessed
+// ring is a power-of-two circular array of slots. Slots are accessed
 // atomically because a thief may read a slot while the owner writes a
 // neighbouring index; an index i lives at slots[i&mask].
-type ring struct {
+type ring[T any] struct {
 	mask  int64
-	slots []atomic.Pointer[Task]
+	slots []atomic.Pointer[T]
 }
 
-func newRing(capacity int64) *ring {
-	return &ring{mask: capacity - 1, slots: make([]atomic.Pointer[Task], capacity)}
+func newRing[T any](capacity int64) *ring[T] {
+	return &ring[T]{mask: capacity - 1, slots: make([]atomic.Pointer[T], capacity)}
 }
 
-func (r *ring) cap() int64           { return r.mask + 1 }
-func (r *ring) get(i int64) *Task    { return r.slots[i&r.mask].Load() }
-func (r *ring) put(i int64, t *Task) { r.slots[i&r.mask].Store(t) }
+func (r *ring[T]) cap() int64        { return r.mask + 1 }
+func (r *ring[T]) get(i int64) *T    { return r.slots[i&r.mask].Load() }
+func (r *ring[T]) put(i int64, t *T) { r.slots[i&r.mask].Store(t) }
 
 // grow returns a ring of twice the capacity holding the entries [top,
 // bottom). The old ring's slots are left intact: a thief racing with the
 // growth may still read index `top` from the old ring, and both rings hold
-// the same task there.
-func (r *ring) grow(top, bottom int64) *ring {
-	nr := newRing(2 * r.cap())
+// the same element there.
+func (r *ring[T]) grow(top, bottom int64) *ring[T] {
+	nr := newRing[T](2 * r.cap())
 	for i := top; i < bottom; i++ {
 		nr.put(i, r.get(i))
 	}
@@ -39,28 +43,29 @@ func (r *ring) grow(top, bottom int64) *ring {
 
 const initialDequeCap = 64
 
-// deque is the per-worker work-stealing deque. The zero value is ready to
-// use. push and pop may only be called by the owning worker; steal may be
-// called from any goroutine. top and bottom sit on separate cache lines so
-// that thieves hammering top do not invalidate the owner's line.
-type deque struct {
+// Deque is a per-worker work-stealing deque of *T. The zero value is ready
+// to use. Push and Pop may only be called by the owning worker; Steal and
+// Size may be called from any goroutine. top and bottom sit on separate
+// cache lines so that thieves hammering top do not invalidate the owner's
+// line.
+type Deque[T any] struct {
 	bottom atomic.Int64
 	_      [56]byte
 	top    atomic.Int64
 	_      [56]byte
-	arr    atomic.Pointer[ring]
+	arr    atomic.Pointer[ring[T]]
 	// ownerTop is the owner's cached lower bound of top (top is
 	// monotone), refreshed only when the ring looks full: the common push
 	// does not read the thief-contended top line at all.
 	ownerTop int64
 }
 
-// push appends a task at the bottom (owner only).
-func (d *deque) push(t *Task) {
+// Push appends an element at the bottom (owner only).
+func (d *Deque[T]) Push(t *T) {
 	b := d.bottom.Load()
 	a := d.arr.Load()
 	if a == nil {
-		a = newRing(initialDequeCap)
+		a = newRing[T](initialDequeCap)
 		d.arr.Store(a)
 	}
 	if b-d.ownerTop >= a.cap() {
@@ -74,11 +79,11 @@ func (d *deque) push(t *Task) {
 	d.bottom.Store(b + 1)
 }
 
-// pop removes and returns the most recently pushed task (owner only), or
-// nil if the deque is empty or the last task was lost to a racing thief.
-// Slots the owner wins are cleared so the popped task is not pinned by the
-// ring.
-func (d *deque) pop() *Task {
+// Pop removes and returns the most recently pushed element (owner only), or
+// nil if the deque is empty or the last element was lost to a racing thief.
+// Slots the owner wins are cleared so the popped element is not pinned by
+// the ring.
+func (d *Deque[T]) Pop() *T {
 	a := d.arr.Load()
 	if a == nil {
 		return nil
@@ -110,12 +115,12 @@ func (d *deque) pop() *Task {
 	return task
 }
 
-// steal removes and returns the oldest task, or nil if the deque is empty
-// or the CAS lost a race (the caller moves on to the next victim). The won
-// slot is not cleared — only the owner may write slots, so a stolen task's
-// reference persists in the ring until that index is reused; the ring's
-// size is bounded, unlike the slice-shift steal this replaces.
-func (d *deque) steal() *Task {
+// Steal removes and returns the oldest element, or nil if the deque is
+// empty or the CAS lost a race (the caller moves on to the next victim).
+// The won slot is not cleared — only the owner may write slots, so a stolen
+// element's reference persists in the ring until that index is reused; the
+// ring's size is bounded, unlike the slice-shift steal this replaces.
+func (d *Deque[T]) Steal() *T {
 	t := d.top.Load()
 	b := d.bottom.Load()
 	if t >= b {
@@ -130,4 +135,15 @@ func (d *deque) steal() *Task {
 		return nil
 	}
 	return task
+}
+
+// Size returns an approximate element count. It is exact when no push, pop,
+// or steal is concurrently in flight; concurrent callers (parking workers
+// probing for work) may see a stale but never a wildly wrong value.
+func (d *Deque[T]) Size() int64 {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return n
 }

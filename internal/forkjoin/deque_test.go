@@ -11,7 +11,7 @@ import (
 // Every pushed task must be taken exactly once, split between the owner's
 // pops and concurrent thieves. Run with -race.
 func TestDequeConcurrentOwnership(t *testing.T) {
-	var d deque
+	var d Deque[Task]
 	const n = 50000
 	const thieves = 4
 
@@ -33,14 +33,14 @@ func TestDequeConcurrentOwnership(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for {
-				if task := d.steal(); task != nil {
+				if task := d.Steal(); task != nil {
 					take(task)
 					continue
 				}
 				select {
 				case <-done:
 					// Drain whatever the owner left behind.
-					for task := d.steal(); task != nil; task = d.steal() {
+					for task := d.Steal(); task != nil; task = d.Steal() {
 						take(task)
 					}
 					return
@@ -54,20 +54,20 @@ func TestDequeConcurrentOwnership(t *testing.T) {
 	for i := 0; i < n; i++ {
 		task := newTask(nil)
 		task.result = i
-		d.push(task)
+		d.Push(task)
 		if i%3 == 0 {
-			if task := d.pop(); task != nil {
+			if task := d.Pop(); task != nil {
 				take(task)
 			}
 		}
 	}
-	for task := d.pop(); task != nil; task = d.pop() {
+	for task := d.Pop(); task != nil; task = d.Pop() {
 		take(task)
 	}
 	close(done)
 	wg.Wait()
 	// The owner can race one last steal; sweep any leftovers.
-	for task := d.steal(); task != nil; task = d.steal() {
+	for task := d.Steal(); task != nil; task = d.Steal() {
 		take(task)
 	}
 
@@ -82,38 +82,38 @@ func TestDequeConcurrentOwnership(t *testing.T) {
 }
 
 func TestDequeGrowthPreservesOrder(t *testing.T) {
-	var d deque
+	var d Deque[Task]
 	const n = initialDequeCap * 8 // force several growths
 	tasks := make([]*Task, n)
 	for i := range tasks {
 		tasks[i] = newTask(nil)
-		d.push(tasks[i])
+		d.Push(tasks[i])
 	}
 	// Owner pops LIFO.
 	for i := n - 1; i >= 0; i-- {
-		if got := d.pop(); got != tasks[i] {
+		if got := d.Pop(); got != tasks[i] {
 			t.Fatalf("pop %d: wrong task", i)
 		}
 	}
-	if d.pop() != nil {
+	if d.Pop() != nil {
 		t.Fatal("deque should be empty")
 	}
 }
 
 func TestDequeStealFIFOAfterGrowth(t *testing.T) {
-	var d deque
+	var d Deque[Task]
 	const n = initialDequeCap * 4
 	tasks := make([]*Task, n)
 	for i := range tasks {
 		tasks[i] = newTask(nil)
-		d.push(tasks[i])
+		d.Push(tasks[i])
 	}
 	for i := 0; i < n; i++ {
-		if got := d.steal(); got != tasks[i] {
+		if got := d.Steal(); got != tasks[i] {
 			t.Fatalf("steal %d: wrong task", i)
 		}
 	}
-	if d.steal() != nil {
+	if d.Steal() != nil {
 		t.Fatal("deque should be empty")
 	}
 }
@@ -123,16 +123,16 @@ func TestDequeStealFIFOAfterGrowth(t *testing.T) {
 // the owner has popped: all slots it vacates are cleared, so the tasks
 // become collectable immediately.
 func TestDequePopDoesNotPinTasks(t *testing.T) {
-	var d deque
+	var d Deque[Task]
 	const n = 100
 	collected := make(chan struct{}, n)
 	for i := 0; i < n; i++ {
 		task := newTask(nil)
 		task.result = &struct{ pad [1024]byte }{}
 		runtime.SetFinalizer(task, func(*Task) { collected <- struct{}{} })
-		d.push(task)
+		d.Push(task)
 	}
-	for d.pop() != nil {
+	for d.Pop() != nil {
 	}
 	// All ring slots the owner vacated must be nil — no lingering refs.
 	a := d.arr.Load()
@@ -160,14 +160,14 @@ func TestDequePopDoesNotPinTasks(t *testing.T) {
 // Interleaved push/pop around the empty boundary — the trickiest Chase–Lev
 // region (bottom == top) — must stay consistent.
 func TestDequeEmptyBoundary(t *testing.T) {
-	var d deque
+	var d Deque[Task]
 	for i := 0; i < 1000; i++ {
-		if d.pop() != nil || d.steal() != nil {
+		if d.Pop() != nil || d.Steal() != nil {
 			t.Fatal("empty deque returned a task")
 		}
 		task := newTask(nil)
-		d.push(task)
-		if got := d.pop(); got != task {
+		d.Push(task)
+		if got := d.Pop(); got != task {
 			t.Fatalf("iteration %d: pop returned %v", i, got)
 		}
 	}

@@ -79,7 +79,7 @@ type Pool struct {
 type Worker struct {
 	pool  *Pool
 	index int
-	dq    deque
+	dq    Deque[Task]
 	rng   *rand.Rand
 	local metrics.Local
 }
@@ -179,7 +179,7 @@ func (w *Worker) exec(t *Task) {
 // (and pickups of quiet For helpers) depend on wakeup timing, and
 // counting them would make per-run metric totals scheduling-dependent.
 func (w *Worker) findTask() *Task {
-	if t := w.dq.pop(); t != nil {
+	if t := w.dq.Pop(); t != nil {
 		if !t.quiet {
 			w.local.IncAtomic()
 		}
@@ -200,7 +200,7 @@ func (w *Worker) findTask() *Task {
 		if victim == w {
 			continue
 		}
-		if t := victim.dq.steal(); t != nil {
+		if t := victim.dq.Steal(); t != nil {
 			w.pool.Steals.Add(1)
 			if !t.quiet {
 				w.local.IncAtomic()
@@ -216,7 +216,7 @@ func (w *Worker) Fork(fn Fn) *Task {
 	w.local.IncObject()
 	t := newTask(fn)
 	w.local.IncAtomic()
-	w.dq.push(t)
+	w.dq.Push(t)
 	w.pool.wakeOne()
 	return t
 }

@@ -194,21 +194,21 @@ func TestPropertyParallelSumMatchesSequential(t *testing.T) {
 }
 
 func TestDequeOperations(t *testing.T) {
-	var d deque
-	if d.pop() != nil || d.steal() != nil {
+	var d Deque[Task]
+	if d.Pop() != nil || d.Steal() != nil {
 		t.Error("empty deque should return nil")
 	}
 	t1, t2, t3 := newTask(nil), newTask(nil), newTask(nil)
-	d.push(t1)
-	d.push(t2)
-	d.push(t3)
-	if got := d.pop(); got != t3 {
+	d.Push(t1)
+	d.Push(t2)
+	d.Push(t3)
+	if got := d.Pop(); got != t3 {
 		t.Error("pop should be LIFO (owner side)")
 	}
-	if got := d.steal(); got != t1 {
+	if got := d.Steal(); got != t1 {
 		t.Error("steal should be FIFO (thief side)")
 	}
-	if got := d.pop(); got != t2 {
+	if got := d.Pop(); got != t2 {
 		t.Error("remaining element wrong")
 	}
 }

@@ -8,10 +8,12 @@ package rx
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"renaissance/internal/metrics"
+	"renaissance/internal/mpsc"
 )
 
 // ErrEmpty is returned by blocking terminal operations on empty observables.
@@ -246,38 +248,83 @@ func Buffer[T any](src Observable[T], n int) Observable[[]T] {
 }
 
 // Scheduler is a single worker goroutine executing queued actions in order,
-// the rx "event loop" scheduler.
+// the rx "event loop" scheduler. Its run queue is the same Vyukov MPSC
+// mailbox primitive that backs the actor runtime: enqueueing is one atomic
+// swap (no channel lock, no backpressure stalls at a fixed channel
+// capacity), and the worker drains batches wait-free, parking on a wake
+// token when the queue is empty.
 type Scheduler struct {
-	ch     chan func()
-	wg     sync.WaitGroup
+	q      mpsc.Queue[func()]
+	parked atomic.Bool
+	wake   chan struct{}
 	closed atomic.Bool
+	wg     sync.WaitGroup
 }
 
 // NewScheduler starts a scheduler worker.
 func NewScheduler() *Scheduler {
-	s := &Scheduler{ch: make(chan func(), 256)}
+	s := &Scheduler{wake: make(chan struct{}, 1)}
+	s.q.Init(mpsc.NewPool[func()]())
 	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		for fn := range s.ch {
-			fn()
-		}
-	}()
+	go s.loop()
 	return s
 }
 
-// Schedule enqueues an action.
-func (s *Scheduler) Schedule(fn func()) {
-	metrics.IncAtomic()
-	s.ch <- fn
+func (s *Scheduler) loop() {
+	defer s.wg.Done()
+	for {
+		if fn, ok := s.q.Pop(); ok {
+			fn()
+			continue
+		}
+		if !s.q.Empty() {
+			// A producer swapped in but has not linked yet.
+			runtime.Gosched()
+			continue
+		}
+		if s.closed.Load() {
+			return // drained and closed
+		}
+		// Park protocol: advertise, re-verify, block. A producer either
+		// sees parked and leaves a token or enqueued before the recheck.
+		s.parked.Store(true)
+		if !s.q.Empty() || s.closed.Load() {
+			s.parked.Store(false)
+			continue
+		}
+		metrics.IncPark()
+		<-s.wake
+		s.parked.Store(false)
+	}
 }
 
-// Close drains and stops the scheduler.
+// Schedule enqueues an action. After Close the action is dropped (the
+// previous channel-based scheduler panicked on this race).
+func (s *Scheduler) Schedule(fn func()) {
+	if s.closed.Load() {
+		return
+	}
+	metrics.IncAtomic()
+	s.q.Push(fn)
+	if s.parked.Load() {
+		metrics.IncNotify()
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Close drains and stops the scheduler: actions already enqueued are still
+// executed, in order, before Close returns.
 func (s *Scheduler) Close() {
 	if s.closed.Swap(true) {
 		return
 	}
-	close(s.ch)
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
 	s.wg.Wait()
 }
 

@@ -3,6 +3,8 @@ package rx
 import (
 	"errors"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -172,5 +174,54 @@ func TestPropertyPipelineMatchesSlices(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// Schedule racing Close must never panic (the channel-based scheduler could
+// send on a closed channel here); late actions are dropped, actions
+// enqueued before Close still run in order. Run under -race by `make
+// stress`.
+func TestSchedulerScheduleCloseRace(t *testing.T) {
+	for round := 0; round < 100; round++ {
+		s := NewScheduler()
+		var ran atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 50; i++ {
+					s.Schedule(func() { ran.Add(1) })
+				}
+			}()
+		}
+		close(start)
+		s.Close() // races the producers; must not panic
+		wg.Wait()
+		if ran.Load() > 200 {
+			t.Fatalf("ran %d > scheduled 200", ran.Load())
+		}
+	}
+}
+
+// Everything scheduled before Close begins must execute, in order.
+func TestSchedulerDrainsInOrderOnClose(t *testing.T) {
+	s := NewScheduler()
+	const n = 10000
+	var order []int
+	for i := 0; i < n; i++ {
+		i := i
+		s.Schedule(func() { order = append(order, i) })
+	}
+	s.Close()
+	if len(order) != n {
+		t.Fatalf("ran %d actions, want %d (Close must drain)", len(order), n)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; event-loop ordering violated", i, v)
+		}
 	}
 }

@@ -8,15 +8,17 @@ GO ?= go
 RACE_PKGS = ./internal/metrics ./internal/forkjoin ./internal/stm ./internal/core ./internal/netstack ./internal/futures ./internal/rdd ./internal/streams ./internal/actors ./internal/rx ./internal/mpsc
 
 # The fault-tolerance and engine-concurrency tests: harness panic/timeout
-# isolation, netstack drain/close, client retry and close races, the
-# data-parallel engine's executor/shuffle/fused-action interleavings, and
-# the actor runtime's shutdown/quiescence/fairness/steal races (plus the
-# MPSC queue and rx scheduler close races). `make stress` shakes them under
-# the race detector repeatedly to catch rare interleavings.
-STRESS_RUN = 'Close|Drain|Timeout|Race|Racing|Panic|Retry|Fault|Discard|Exchange|Executor|Fused|Nested|Quiesce|Flood|Steal|Registry|Scheduler|Queue|Mailbox|Ask'
-STRESS_PKGS = ./internal/core ./internal/netstack ./internal/futures ./internal/rdd ./internal/forkjoin ./internal/actors ./internal/rx ./internal/mpsc
+# isolation, netstack drain/close/breaker/shedding, client retry and close
+# races, the data-parallel engine's executor/shuffle/fused-action
+# interleavings, the actor runtime's shutdown/quiescence/fairness/steal
+# races, and the supervision fault domains (restart/escalation/dead
+# letters, plus the MPSC queue and rx scheduler close races). `make
+# stress` shakes them under the race detector repeatedly to catch rare
+# interleavings.
+STRESS_RUN = 'Close|Drain|Timeout|Race|Racing|Panic|Retry|Fault|Discard|Exchange|Executor|Fused|Nested|Quiesce|Flood|Steal|Registry|Scheduler|Queue|Mailbox|Ask|Restart|Resume|Escalation|DeadLetter|Breaker|Shed'
+STRESS_PKGS = ./internal/core ./internal/netstack ./internal/futures ./internal/rdd ./internal/forkjoin ./internal/actors ./internal/rx ./internal/mpsc ./internal/streams
 
-.PHONY: check vet build test race stress bench bench-all bench-ci bench-contention analyze
+.PHONY: check vet build test race stress chaos bench bench-all bench-ci bench-contention analyze
 
 check: vet build test race
 
@@ -34,6 +36,27 @@ race:
 
 stress:
 	$(GO) test -race -count=5 -run $(STRESS_RUN) $(STRESS_PKGS)
+
+# Chaos sweep: run the renaissance suite with seeded fault injection at
+# every registered injection point and assert clean degradation — every
+# benchmark must end in a terminal status (ok/error/timeout/panic) and the
+# harness must exit 0 (all clean) or 1 (some benchmarks degraded), never
+# crash. Seeds are pinned so failures reproduce; set CHAOS_RACE=-race to
+# run under the race detector (CI does).
+CHAOS_SEEDS ?= 1 7
+CHAOS_RATE  ?= 0.02
+CHAOS_RACE  ?=
+chaos:
+	@for seed in $(CHAOS_SEEDS); do \
+		echo "== chaos sweep: seed=$$seed rate=$(CHAOS_RATE) =="; \
+		$(GO) run $(CHAOS_RACE) ./cmd/renaissance run -suite renaissance \
+			-size 0.1 -warmup 1 -measured 1 -timeout 30s -retries 1 \
+			-chaos.seed $$seed -chaos.rate $(CHAOS_RATE); \
+		code=$$?; \
+		if [ $$code -gt 1 ]; then \
+			echo "chaos sweep crashed (exit $$code) at seed $$seed"; exit $$code; \
+		fi; \
+	done; echo "chaos sweeps completed with terminal statuses"
 
 # Contention benchmarks: flat vs sharded recorder, mutex vs Chase–Lev
 # deque, at 1/2/4/8 virtual CPUs (see EXPERIMENTS.md "Profiler

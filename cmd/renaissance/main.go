@@ -6,7 +6,8 @@
 //
 //	renaissance list [-suite name]
 //	renaissance run [-suite name] [-bench name] [-size f] [-warmup n] [-measured n]
-//	                [-timeout d] [-fault spec] [-json]
+//	                [-timeout d] [-retries n] [-fault spec]
+//	                [-chaos.seed n] [-chaos.rate f] [-json]
 //	renaissance metrics
 //
 // Runs degrade gracefully: a benchmark that fails, panics, or exceeds its
@@ -24,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"renaissance/internal/chaos"
 	"renaissance/internal/core"
 	"renaissance/internal/metrics"
 	"renaissance/internal/report"
@@ -62,7 +64,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   renaissance list [-suite name]
   renaissance run [-suite name] [-bench name] [-size f] [-warmup n] [-measured n]
-                  [-timeout d] [-fault spec] [-json]
+                  [-timeout d] [-retries n] [-fault spec]
+                  [-chaos.seed n] [-chaos.rate f] [-json]
   renaissance metrics`)
 }
 
@@ -148,6 +151,9 @@ func cmdRun(args []string) error {
 	warmup := fs.Int("warmup", 0, "override warmup iterations")
 	measured := fs.Int("measured", 0, "override measured iterations")
 	timeout := fs.Duration("timeout", 0, "override per-benchmark deadline (0 = spec default)")
+	retries := fs.Int("retries", 0, "re-run a failed (error/timeout/panic) benchmark up to n times")
+	chaosSeed := fs.Int64("chaos.seed", 1, "chaos injection seed (deterministic per seed)")
+	chaosRate := fs.Float64("chaos.rate", 0, "chaos injection rate in [0,1); 0 disables injection")
 	var faults faultFlags
 	fs.Var(&faults, "fault", "inject a fault: kind[:benchmark[:iteration]], kind = delay=DUR | error[=msg] | panic[=msg] (repeatable)")
 	asJSON := fs.Bool("json", false, "emit JSON results")
@@ -160,8 +166,14 @@ func cmdRun(args []string) error {
 	r.WarmupOverride = *warmup
 	r.MeasuredOverride = *measured
 	r.TimeoutOverride = *timeout
+	r.RetriesOverride = *retries
 	if len(faults.faults) > 0 {
 		r.Use(core.NewFaultInjector(faults.faults...))
+	}
+	if *chaosRate > 0 {
+		chaos.Configure(*chaosSeed, *chaosRate)
+		fmt.Fprintf(os.Stderr, "renaissance: chaos enabled: seed=%d rate=%g\n",
+			chaos.Seed(), chaos.Rate())
 	}
 
 	var specs []*core.Spec
@@ -228,17 +240,18 @@ func firstLine(s string) string {
 
 func cmdMetrics() error {
 	desc := map[metrics.Metric]string{
-		metrics.Synch:     "synchronized (mutex-guarded) sections executed",
-		metrics.Wait:      "guarded-block waits (Object.wait analogues)",
-		metrics.Notify:    "condition signals (Object.notify analogues)",
-		metrics.Atomic:    "atomic memory operations executed",
-		metrics.Park:      "goroutine park operations",
-		metrics.CPU:       "average CPU utilization (sampled, %)",
-		metrics.CacheMiss: "cache misses (simulated / allocation proxy)",
-		metrics.Object:    "objects allocated",
-		metrics.Array:     "arrays (slices) allocated",
-		metrics.Method:    "dynamically dispatched calls",
-		metrics.IDynamic:  "closure dispatches (invokedynamic analogues)",
+		metrics.Synch:      "synchronized (mutex-guarded) sections executed",
+		metrics.Wait:       "guarded-block waits (Object.wait analogues)",
+		metrics.Notify:     "condition signals (Object.notify analogues)",
+		metrics.Atomic:     "atomic memory operations executed",
+		metrics.Park:       "goroutine park operations",
+		metrics.CPU:        "average CPU utilization (sampled, %)",
+		metrics.CacheMiss:  "cache misses (simulated / allocation proxy)",
+		metrics.Object:     "objects allocated",
+		metrics.Array:      "arrays (slices) allocated",
+		metrics.Method:     "dynamically dispatched calls",
+		metrics.IDynamic:   "closure dispatches (invokedynamic analogues)",
+		metrics.DeadLetter: "undeliverable messages and shed requests (fault path)",
 	}
 	t := &report.Table{Title: "Table 2: characterizing metrics", Headers: []string{"name", "description"}}
 	for _, m := range metrics.AllMetrics() {

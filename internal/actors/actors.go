@@ -91,6 +91,14 @@ type System struct {
 	shards  [regShards]regShard
 	nextID  atomic.Int64
 	envPool *mpsc.Pool[envelope]
+
+	// Fault-domain state (see supervision.go): the dead-letter sink and
+	// counter, and the count/handler for failures escalating past the top
+	// of a supervision tree.
+	deadSink    atomic.Pointer[Ref]
+	deadCount   atomic.Int64
+	rootFails   atomic.Int64
+	rootHandler atomic.Pointer[RootHandler]
 }
 
 // NewSystem creates an actor system with the given number of scheduler
@@ -136,10 +144,25 @@ func (s *System) shardFor(name string) *regShard {
 // Spawn creates a new actor with the given name (a unique suffix is added
 // when the name is already taken) and behavior, and returns its reference.
 func (s *System) Spawn(name string, r Receiver) *Ref {
-	return s.spawn(nil, name, r)
+	return s.spawn(nil, name, r, nil)
 }
 
-func (s *System) spawn(w *worker, name string, r Receiver) *Ref {
+// SpawnWith is Spawn with an explicit fault-domain configuration:
+// supervisor, strategy, restart factory, and backoff (see supervision.go).
+func (s *System) SpawnWith(name string, r Receiver, opts SpawnOpts) *Ref {
+	return s.spawn(nil, name, r, supCellFor(opts))
+}
+
+func supCellFor(opts SpawnOpts) *supCell {
+	return &supCell{
+		supervisor: opts.Supervisor,
+		strategy:   opts.Strategy,
+		factory:    opts.Factory,
+		backoff:    opts.Backoff,
+	}
+}
+
+func (s *System) spawn(w *worker, name string, r Receiver, sup *supCell) *Ref {
 	if s.stopped.Load() {
 		panic(ErrSystemStopped)
 	}
@@ -148,7 +171,8 @@ func (s *System) spawn(w *worker, name string, r Receiver) *Ref {
 	} else {
 		metrics.IncObject()
 	}
-	ref := &Ref{sys: s, recv: r, registered: true}
+	ref := &Ref{sys: s, registered: true, sup: sup}
+	ref.setBehavior(r)
 	ref.mb.Init(s.envPool)
 	base := name
 	for {
@@ -218,12 +242,21 @@ const (
 type Ref struct {
 	sys  *System
 	name string
-	recv Receiver
+	// recv is the current behavior. It is swapped on Restart (always under
+	// the actor's scheduling slot) and read on every delivery; the atomic
+	// pointer makes external readers (Ref.Stop's PostStop hook) safe too.
+	recv atomic.Pointer[Receiver]
 
 	mb         mpsc.Queue[envelope]
 	state      atomic.Int32
 	stopped    atomic.Bool
 	registered bool // ephemeral Ask reply refs skip the registry
+	// sup is the immutable fault-domain configuration (nil for plain
+	// spawns: DefaultStrategy, no supervisor). restarts counts consecutive
+	// restarts; it is touched only under the actor's scheduling slot and
+	// reset by every clean delivery.
+	sup      *supCell
+	restarts int32
 }
 
 type envelope struct {
@@ -245,11 +278,12 @@ func (r *Ref) TellFrom(msg any, sender *Ref) { r.enqueue(msg, sender, nil) }
 // Receive): its run queue and pinned metric shard and in-flight cell are
 // used, so the whole send is three uncontended-or-lock-free atomics.
 func (r *Ref) enqueue(msg any, sender *Ref, w *worker) {
-	if r.stopped.Load() || r.sys.stopped.Load() {
-		return // dead letter
-	}
 	if w != nil && w.sys != r.sys {
 		w = nil // cross-system send: the hint's queues belong elsewhere
+	}
+	if r.stopped.Load() || r.sys.stopped.Load() {
+		r.sys.deadLetter(w, r, msg, sender)
+		return
 	}
 	// Deterministic per-send accounting: in-flight bump + mailbox swap +
 	// schedule CAS, counted identically however the send is scheduled.
@@ -287,7 +321,9 @@ func (r *Ref) schedule(w *worker) {
 const batchSize = 64
 
 // processBatch drains up to batchSize messages on worker w, which holds the
-// actor's scheduling slot.
+// actor's scheduling slot. Every popped envelope is accounted with exactly
+// one messageDone, whether it was delivered, dead-lettered after a stop, or
+// consumed by the supervision machinery — the quiescence sum depends on it.
 func (r *Ref) processBatch(w *worker) {
 	processed := 0
 	for processed < batchSize {
@@ -301,14 +337,34 @@ func (r *Ref) processBatch(w *worker) {
 			runtime.Gosched()
 			continue
 		}
-		if !r.stopped.Load() {
-			w.ctx.self = r
-			w.ctx.sender = env.sender
-			w.local.IncMethod() // dynamic dispatch into the behavior
-			r.recv.Receive(&w.ctx, env.msg)
-		}
-		r.sys.messageDone(w)
 		processed++
+		if r.stopped.Load() {
+			// Stopped with queued messages: dead-letter them, keeping the
+			// in-flight accounting so quiescence still reaches zero.
+			r.sys.deadLetter(w, r, env.msg, env.sender)
+			r.sys.messageDone(w)
+			continue
+		}
+		if esc, ok := env.msg.(escalated); ok {
+			// A child failure escalated here: apply this actor's own
+			// strategy under its own slot (see supervision.go).
+			r.sys.messageDone(w)
+			if r.fail(w, esc.err) {
+				return // suspended for a backoff restart; slot handed off
+			}
+			continue
+		}
+		failure, failed := r.deliver(w, env)
+		r.sys.messageDone(w)
+		if failed {
+			if r.fail(w, failure) {
+				return // suspended for a backoff restart; slot handed off
+			}
+			continue
+		}
+		if r.restarts != 0 {
+			r.restarts = 0 // a clean delivery resets the backoff ladder
+		}
 	}
 	if processed == batchSize && !r.mb.Empty() {
 		// Fairness: keep the slot (state stays scheduled — producers must
@@ -326,9 +382,16 @@ func (r *Ref) processBatch(w *worker) {
 }
 
 // Stop marks the actor stopped: further messages become dead letters and
-// queued messages are skipped (but still accounted).
+// queued messages are drained as dead letters (still accounted). The
+// PostStop hook, when the behavior implements it, runs exactly once on the
+// goroutine that won the stop.
 func (r *Ref) Stop() {
-	r.stopped.Store(true)
+	if r.stopped.Swap(true) {
+		return
+	}
+	if h, ok := r.behavior().(PostStopper); ok {
+		runHook(h.PostStop)
+	}
 	if !r.registered {
 		return
 	}
@@ -361,9 +424,16 @@ func (c *Context) Sender() *Ref { return c.sender }
 // System returns the actor system.
 func (c *Context) System() *System { return c.sys }
 
-// Spawn creates a child actor.
+// Spawn creates a child actor with the default fault domain (no
+// supervisor, DefaultStrategy).
 func (c *Context) Spawn(name string, r Receiver) *Ref {
-	return c.sys.spawn(c.w, name, r)
+	return c.sys.spawn(c.w, name, r, nil)
+}
+
+// SpawnWith creates a child actor with an explicit fault-domain
+// configuration. The common tree shape passes Supervisor: c.Self().
+func (c *Context) SpawnWith(name string, r Receiver, opts SpawnOpts) *Ref {
+	return c.sys.spawn(c.w, name, r, supCellFor(opts))
 }
 
 // Send delivers msg to the target with this actor as the sender, scheduling
@@ -389,13 +459,13 @@ func (r *Ref) Ask(msg any) <-chan any {
 	metrics.IncObject()
 	tmp := &Ref{sys: r.sys, name: "ask"}
 	tmp.mb.Init(r.sys.envPool)
-	tmp.recv = ReceiverFunc(func(ctx *Context, m any) {
+	tmp.setBehavior(ReceiverFunc(func(ctx *Context, m any) {
 		select {
 		case reply <- m:
 		default: // a second reply after the first; drop it
 		}
 		ctx.Self().Stop()
-	})
+	}))
 	r.TellFrom(msg, tmp)
 	return reply
 }

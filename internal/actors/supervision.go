@@ -1,0 +1,342 @@
+// Supervision: fault domains for the actor runtime, in the style of Akka's
+// supervision trees. A panic escaping Receive is recovered by the
+// delivering worker (a misbehaving actor can never take down a scheduler
+// worker) and routed to the failing actor's Strategy, which picks one of
+// four directives: Resume (keep state, next message), Restart (swap in a
+// fresh behavior after an exponential backoff, mailbox preserved), Stop
+// (terminate; queued and future messages become dead letters), or Escalate
+// (raise the failure to the supervisor).
+//
+// Two properties keep the failure path race-free without any new locks:
+//
+//   - Every decision runs under the failing actor's own scheduling slot.
+//     A backoff restart keeps the slot (state stays scheduled, so
+//     producers cannot double-enqueue a suspended actor) and a timer
+//     re-injects the actor when the backoff elapses; its mailbox — and the
+//     in-flight accounting of the messages in it — is untouched.
+//   - Escalation is asynchronous: the child stops and sends an internal
+//     `escalated` system message, which the supervisor's slot intercepts
+//     and feeds to the supervisor's *own* strategy, as if the supervisor
+//     itself had failed. This deliberately diverges from Akka (where the
+//     parent's strategy decides the child's fate synchronously): decisions
+//     here never execute on another actor's worker, so supervisor state is
+//     only ever touched under the supervisor's slot. A failure that
+//     escalates past the top of a tree is a root failure: counted on the
+//     System and reported to the root handler.
+package actors
+
+import (
+	"time"
+
+	"renaissance/internal/chaos"
+	"renaissance/internal/metrics"
+)
+
+// Directive is a supervision decision for a failed actor.
+type Directive int32
+
+const (
+	// Resume keeps the actor's state and mailbox and continues with the
+	// next message.
+	Resume Directive = iota
+	// Restart swaps in a fresh behavior (via the spawn Factory, when one
+	// was given) after an exponential backoff; the mailbox is preserved.
+	Restart
+	// Stop terminates the actor: the PostStop hook runs, the name is
+	// deregistered, and queued plus future messages become dead letters.
+	Stop
+	// Escalate stops the actor and raises the failure to its supervisor;
+	// with no supervisor it is a root failure.
+	Escalate
+)
+
+// String names the directive for logs and tests.
+func (d Directive) String() string {
+	switch d {
+	case Resume:
+		return "resume"
+	case Restart:
+		return "restart"
+	case Stop:
+		return "stop"
+	case Escalate:
+		return "escalate"
+	}
+	return "directive(?)"
+}
+
+// Strategy decides the fate of a failing actor. Decide receives the
+// recovered panic value and the number of consecutive restarts already
+// performed (reset by every clean delivery).
+type Strategy interface {
+	Decide(err any, restarts int) Directive
+}
+
+// StrategyFunc adapts a function to the Strategy interface.
+type StrategyFunc func(err any, restarts int) Directive
+
+// Decide calls the function.
+func (f StrategyFunc) Decide(err any, restarts int) Directive { return f(err, restarts) }
+
+// OneForOne restarts the failing actor up to MaxRestarts consecutive
+// times, then applies Overflow. Siblings are unaffected, as in Akka's
+// one-for-one supervisor.
+type OneForOne struct {
+	// MaxRestarts bounds consecutive restarts; negative means unlimited.
+	MaxRestarts int
+	// Overflow is the directive applied once the ladder is exhausted.
+	Overflow Directive
+}
+
+// Decide implements Strategy.
+func (s OneForOne) Decide(_ any, restarts int) Directive {
+	if s.MaxRestarts >= 0 && restarts >= s.MaxRestarts {
+		return s.Overflow
+	}
+	return Restart
+}
+
+var (
+	// DefaultStrategy governs actors spawned without SpawnOpts: a bounded
+	// restart ladder degrading to Stop, so an unsupervised failing actor
+	// neither crashes the process nor restarts forever.
+	DefaultStrategy Strategy = OneForOne{MaxRestarts: 5, Overflow: Stop}
+	// AlwaysStop stops on the first failure.
+	AlwaysStop Strategy = StrategyFunc(func(any, int) Directive { return Stop })
+	// AlwaysEscalate raises every failure to the supervisor.
+	AlwaysEscalate Strategy = StrategyFunc(func(any, int) Directive { return Escalate })
+)
+
+const (
+	// DefaultBackoff is the base restart delay, doubled per consecutive
+	// restart.
+	DefaultBackoff = time.Millisecond
+	// maxBackoff caps the exponential ladder so that a chaos-injected
+	// failure storm delays quiescence by a bounded amount.
+	maxBackoff = 250 * time.Millisecond
+)
+
+// SpawnOpts configures an actor's fault domain at spawn time.
+type SpawnOpts struct {
+	// Supervisor receives this actor's escalated failures; nil makes the
+	// actor a supervision-tree root.
+	Supervisor *Ref
+	// Strategy decides failure directives; nil means DefaultStrategy.
+	Strategy Strategy
+	// Factory recreates the behavior on Restart. Nil reuses the existing
+	// Receiver value, which is only sound for stateless behaviors.
+	Factory func() Receiver
+	// Backoff overrides the base restart delay; 0 means DefaultBackoff.
+	Backoff time.Duration
+}
+
+// supCell is the per-actor fault-domain configuration. It is immutable
+// after spawn, so reads take no locks; plain actors carry none (nil) and
+// fall back to the package defaults.
+type supCell struct {
+	supervisor *Ref
+	strategy   Strategy
+	factory    func() Receiver
+	backoff    time.Duration
+}
+
+// PreRestarter is implemented by behaviors that want a hook before being
+// replaced on Restart (flush partial state, log the failure). It runs
+// under the actor's slot; a panic inside the hook is swallowed.
+type PreRestarter interface{ PreRestart(err any) }
+
+// PostStopper is implemented by behaviors that want a cleanup hook when
+// the actor stops, whichever path stopped it. Supervision-initiated stops
+// run it under the actor's slot; an external Ref.Stop runs it on the
+// calling goroutine. A panic inside the hook is swallowed.
+type PostStopper interface{ PostStop() }
+
+// RootHandler observes failures that escalate past the top of a
+// supervision tree. The failing actor is already stopped when it runs.
+type RootHandler func(failed *Ref, err any)
+
+// DeadLetter wraps an undeliverable message routed to the dead-letter
+// sink: the intended target, the original message, and its sender.
+type DeadLetter struct {
+	To     *Ref
+	Msg    any
+	Sender *Ref
+}
+
+// escalated is the internal system message carrying a child failure to its
+// supervisor. The runtime intercepts it in processBatch — it is never
+// delivered to Receive — and applies the supervisor's own strategy under
+// the supervisor's scheduling slot.
+type escalated struct {
+	child *Ref
+	err   any
+}
+
+// runHook isolates a user lifecycle hook: a panicking hook must not
+// re-enter the failure machinery it is called from.
+func runHook(f func()) {
+	defer func() { _ = recover() }()
+	f()
+}
+
+func (r *Ref) behavior() Receiver { return *r.recv.Load() }
+
+func (r *Ref) setBehavior(recv Receiver) { r.recv.Store(&recv) }
+
+func (r *Ref) strategyFor() Strategy {
+	if r.sup != nil && r.sup.strategy != nil {
+		return r.sup.strategy
+	}
+	return DefaultStrategy
+}
+
+func (r *Ref) baseBackoff() time.Duration {
+	if r.sup != nil && r.sup.backoff > 0 {
+		return r.sup.backoff
+	}
+	return DefaultBackoff
+}
+
+// Supervisor returns the actor's supervisor, or nil for a tree root.
+func (r *Ref) Supervisor() *Ref {
+	if r.sup != nil {
+		return r.sup.supervisor
+	}
+	return nil
+}
+
+// deliver dispatches one message into the behavior under the actor panic
+// guard. It reports the recovered panic value, if any; a panicking Receive
+// can therefore never unwind a scheduler worker.
+func (r *Ref) deliver(w *worker, env envelope) (failure any, failed bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			failure, failed = p, true
+		}
+	}()
+	w.ctx.self = r
+	w.ctx.sender = env.sender
+	w.local.IncMethod() // dynamic dispatch into the behavior
+	if chaos.Maybe("actors.deliver") {
+		panic(&chaos.InjectedError{Point: "actors.deliver"})
+	}
+	r.behavior().Receive(&w.ctx, env.msg)
+	return nil, false
+}
+
+// fail applies the supervision decision for a failure observed under this
+// actor's scheduling slot. It returns true when the slot has been handed
+// off to the backoff timer (a suspended restart): the caller must return
+// immediately without releasing or requeueing the slot.
+func (r *Ref) fail(w *worker, err any) bool {
+	switch r.strategyFor().Decide(err, int(r.restarts)) {
+	case Resume:
+		return false
+	case Restart:
+		r.restart(w, err)
+		return true
+	case Stop:
+		r.Stop()
+		return false
+	default: // Escalate
+		r.escalate(w, err)
+		return false
+	}
+}
+
+// restart swaps in a fresh behavior and suspends the actor for an
+// exponential backoff. The scheduling slot stays held (state remains
+// scheduled) for the whole suspension — producers keep enqueueing into the
+// preserved mailbox without double-scheduling — and the timer re-injects
+// the actor when the backoff elapses.
+func (r *Ref) restart(w *worker, err any) {
+	r.restarts++
+	if h, ok := r.behavior().(PreRestarter); ok {
+		runHook(func() { h.PreRestart(err) })
+	}
+	if r.sup != nil && r.sup.factory != nil {
+		w.local.IncObject() // the replacement behavior
+		r.setBehavior(r.sup.factory())
+	}
+	d := r.baseBackoff()
+	for i := int32(1); i < r.restarts && d < maxBackoff; i++ {
+		d <<= 1
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	time.AfterFunc(d, func() {
+		// The actor still holds its slot; hand it to whichever worker
+		// polls the inject queue next. After Shutdown this re-injects into
+		// a dead scheduler, which is harmless: quiescence cannot have been
+		// reached with accounted messages still queued here.
+		r.sys.inject.Push(r)
+		r.sys.signal()
+	})
+}
+
+// escalate stops the failing actor and raises the failure to its
+// supervisor as an internal system message (see the package comment for
+// why this is asynchronous). Without a live supervisor the failure has
+// reached the root of the tree.
+func (r *Ref) escalate(w *worker, err any) {
+	sup := r.Supervisor()
+	r.Stop()
+	if sup == nil || sup.stopped.Load() {
+		r.sys.rootFailure(r, err)
+		return
+	}
+	sup.enqueue(escalated{child: r, err: err}, r, w)
+}
+
+func (s *System) rootFailure(failed *Ref, err any) {
+	s.rootFails.Add(1)
+	if h := s.rootHandler.Load(); h != nil {
+		runHook(func() { (*h)(failed, err) })
+	}
+}
+
+// SetRootHandler installs a callback observing failures that escalate past
+// the top of a supervision tree.
+func (s *System) SetRootHandler(h RootHandler) {
+	if h == nil {
+		s.rootHandler.Store(nil)
+		return
+	}
+	s.rootHandler.Store(&h)
+}
+
+// RootFailures returns the number of failures that escalated past the top
+// of a supervision tree.
+func (s *System) RootFailures() int64 { return s.rootFails.Load() }
+
+// SetDeadLetterSink routes every dead letter — a message sent to a stopped
+// actor, or drained from a stopped actor's mailbox — to ref, wrapped in a
+// DeadLetter. Dead letters addressed to the sink itself, and DeadLetter
+// wrappers that become dead in turn, are counted but not re-routed, so the
+// sink cannot recurse.
+func (s *System) SetDeadLetterSink(ref *Ref) { s.deadSink.Store(ref) }
+
+// DeadLetterCount returns the number of messages dead-lettered so far.
+func (s *System) DeadLetterCount() int64 { return s.deadCount.Load() }
+
+// deadLetter accounts one undeliverable message (the fault-path metric
+// DeadLetter plus the system counter) and forwards it to the sink when one
+// is installed.
+func (s *System) deadLetter(w *worker, to *Ref, msg any, sender *Ref) {
+	s.deadCount.Add(1)
+	if w != nil {
+		w.local.IncDeadLetter()
+	} else {
+		metrics.IncDeadLetter()
+	}
+	sink := s.deadSink.Load()
+	if sink == nil || sink == to || sink.stopped.Load() || s.stopped.Load() {
+		return
+	}
+	switch msg.(type) {
+	case DeadLetter, escalated:
+		return // counted only: no re-wrapping, no recursion
+	}
+	sink.enqueue(DeadLetter{To: to, Msg: msg, Sender: sender}, sender, w)
+}

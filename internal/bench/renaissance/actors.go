@@ -90,7 +90,14 @@ func (w *uctWorkload) RunIteration() error {
 		}
 		k := fanout(v.depth, v.path)
 		for c := 0; c < k; c++ {
-			child := ctx.Spawn("uct", behavior)
+			// Children join their parent's fault domain: a panicking node
+			// (e.g. chaos-injected) restarts with its mailbox intact
+			// instead of stopping the whole tree computation; the behavior
+			// is stateless, so restart needs no factory.
+			child := ctx.SpawnWith("uct", behavior, actors.SpawnOpts{
+				Supervisor: ctx.Self(),
+				Strategy:   actors.OneForOne{MaxRestarts: 3, Overflow: actors.Escalate},
+			})
 			// ctx.Send pushes onto this worker's own run queue (no inject
 			// contention); idle workers steal the surplus.
 			ctx.Send(child, uctVisit{v.depth + 1, v.path*4 + int64(c) + 1})

@@ -78,6 +78,9 @@ type Result struct {
 	Validated bool             `json:"validated"`
 	Status    Status           `json:"status"`
 	Err       string           `json:"error,omitempty"`
+	// Attempts is how many times the run executed (1 plus retries used);
+	// omitted from JSON for single-attempt runs.
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // MeanMillis returns the mean steady-state iteration time in milliseconds.
@@ -105,6 +108,12 @@ type Runner struct {
 	// exceeds its deadline is abandoned on its goroutine and reported with
 	// StatusTimeout instead of hanging the sweep.
 	TimeoutOverride time.Duration
+	// RetriesOverride replaces every spec's Retries when > 0 (matching the
+	// other overrides). A failed run — error, timeout, or panic — is
+	// re-run from scratch up to that many extra times; the first clean
+	// result wins, otherwise the last failure stands. Every result records
+	// its attempt count.
+	RetriesOverride int
 }
 
 // NewRunner returns a Runner with the default configuration.
@@ -121,7 +130,27 @@ func (r *Runner) Use(ps ...Plugin) { r.Plugins = append(r.Plugins, ps...) }
 // hanging the suite. Failures abort the run and are reported both in the
 // result and the returned error; in every case the returned Result is
 // non-nil with its Status populated.
+//
+// A failing run is re-executed from scratch up to the spec's Retries (or
+// the runner's RetriesOverride): the first clean attempt's result is
+// returned, otherwise the last failure's. Result.Attempts records how many
+// attempts the returned result took.
 func (r *Runner) Run(spec *Spec) (*Result, error) {
+	retries := spec.Retries
+	if r.RetriesOverride > 0 {
+		retries = r.RetriesOverride
+	}
+	for attempt := 1; ; attempt++ {
+		res, err := r.runOnce(spec)
+		res.Attempts = attempt
+		if res.Status == StatusOK || attempt > retries {
+			return res, err
+		}
+	}
+}
+
+// runOnce executes a single monitored attempt of the spec.
+func (r *Runner) runOnce(spec *Spec) (*Result, error) {
 	timeout := spec.Timeout
 	if r.TimeoutOverride > 0 {
 		timeout = r.TimeoutOverride
@@ -280,6 +309,9 @@ func (r *Runner) RunAll(specs []*Spec) ([]*Result, error) {
 // Tally counts results by status, for sweep exit summaries.
 type Tally struct {
 	OK, Errors, Timeouts, Panics int
+	// Retried counts results that needed more than one attempt, whatever
+	// their final status.
+	Retried int
 }
 
 // TallyResults tallies the statuses of a result set.
@@ -296,6 +328,9 @@ func TallyResults(results []*Result) Tally {
 		default:
 			t.OK++
 		}
+		if res.Attempts > 1 {
+			t.Retried++
+		}
 	}
 	return t
 }
@@ -306,8 +341,14 @@ func (t Tally) Total() int { return t.OK + t.Errors + t.Timeouts + t.Panics }
 // AllOK reports whether every tallied run completed cleanly.
 func (t Tally) AllOK() bool { return t.Total() == t.OK }
 
-// String renders the tally as an exit summary line.
+// String renders the tally as an exit summary line. The retried suffix
+// appears only when some result needed retries, keeping the common line
+// stable for tooling.
 func (t Tally) String() string {
-	return fmt.Sprintf("%d ok, %d error, %d timeout, %d panic",
+	s := fmt.Sprintf("%d ok, %d error, %d timeout, %d panic",
 		t.OK, t.Errors, t.Timeouts, t.Panics)
+	if t.Retried > 0 {
+		s += fmt.Sprintf(" (%d retried)", t.Retried)
+	}
+	return s
 }

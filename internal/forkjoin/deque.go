@@ -11,7 +11,11 @@
 // scheduler stores *actors.Ref (runnable mailboxes).
 package forkjoin
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"renaissance/internal/chaos"
+)
 
 // ring is a power-of-two circular array of slots. Slots are accessed
 // atomically because a thief may read a slot while the owner writes a
@@ -121,6 +125,12 @@ func (d *Deque[T]) Pop() *T {
 // element's reference persists in the ring until that index is reused; the
 // ring's size is bounded, unlike the slice-shift steal this replaces.
 func (d *Deque[T]) Steal() *T {
+	// Chaos: a missed steal is indistinguishable from losing the CAS race,
+	// so injecting one exercises every caller's retry/park path without
+	// breaking the deque's invariants.
+	if chaos.Maybe("forkjoin.steal") {
+		return nil
+	}
 	t := d.top.Load()
 	b := d.bottom.Load()
 	if t >= b {

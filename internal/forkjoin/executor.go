@@ -33,7 +33,6 @@ package forkjoin
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"renaissance/internal/metrics"
 )
@@ -60,11 +59,22 @@ func For(n, grain int, body func(lo, hi int)) {
 	Shared().ForMax(n, grain, 0, body)
 }
 
+// ForE is For surfacing a chunk panic as a *TaskError instead of
+// re-panicking it at the join.
+func ForE(n, grain int, body func(lo, hi int)) error {
+	return Shared().ForMaxE(n, grain, 0, body)
+}
+
 // For runs body over chunked subranges of [0, n) on this pool, with the
 // calling goroutine participating. It returns when every index has been
 // processed exactly once.
 func (p *Pool) For(n, grain int, body func(lo, hi int)) {
 	p.ForMax(n, grain, 0, body)
+}
+
+// ForE is Pool.For surfacing a chunk panic as a *TaskError.
+func (p *Pool) ForE(n, grain int, body func(lo, hi int)) error {
+	return p.ForMaxE(n, grain, 0, body)
 }
 
 // chunksPerExecutor is the load-balancing factor of the automatic grain:
@@ -76,9 +86,25 @@ const chunksPerExecutor = 4
 // executors (counting the caller) run chunks concurrently; maxPar <= 0
 // means the pool's full width plus the caller. grain <= 0 picks an
 // automatic chunk size of n/(par·chunksPerExecutor), at least 1.
+//
+// A panic in body cancels the job's remaining chunks and is re-panicked
+// here, at the join point, as a *TaskError — the legacy fork/join
+// exception-propagation contract. Use ForMaxE to receive it as an error.
 func (p *Pool) ForMax(n, grain, maxPar int, body func(lo, hi int)) {
+	if err := p.ForMaxE(n, grain, maxPar, body); err != nil {
+		panic(err)
+	}
+}
+
+// ForMaxE runs body over chunked subranges of [0, n) with the caller
+// participating, like ForMax, and returns the job's first failure as a
+// *TaskError instead of panicking. A failing chunk cancels its siblings
+// via the job's cancellation token (checked at every chunk claim); chunks
+// already executing finish before ForMaxE returns, so no helper goroutine
+// outlives the call and the barrier can never be left stuck.
+func (p *Pool) ForMaxE(n, grain, maxPar int, body func(lo, hi int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	par := len(p.workers) + 1 // workers plus the calling goroutine
 	if maxPar > 0 && maxPar < par {
@@ -91,36 +117,18 @@ func (p *Pool) ForMax(n, grain, maxPar int, body func(lo, hi int)) {
 		}
 	}
 	chunks := (n + grain - 1) / grain
+	j := &parJob{n: n, grain: grain, chunks: int64(chunks)}
 	if chunks == 1 {
-		body(0, n)
-		return
-	}
-
-	var next, completed atomic.Int64
-	done := make(chan struct{})
-	drain := func(loc metrics.Local) {
-		for {
-			lo := int(next.Add(int64(grain))) - grain
-			if lo >= n {
-				return
-			}
-			// Counted per successful claim (= per chunk), not per
-			// fetch-add attempt: the overshooting final claim of each
-			// executor would make the total depend on how many helpers
-			// woke in time, and metric counts must not depend on
-			// scheduling timing.
-			loc.IncAtomic()
-			hi := lo + grain
-			if hi > n {
-				hi = n
-			}
-			body(lo, hi)
-			if completed.Add(1) == int64(chunks) {
-				close(done)
-				return
-			}
+		// Pre-claim the single chunk so a failure's cancel sweep finds
+		// nothing left to swallow (there is no barrier to release).
+		j.next.Store(int64(n))
+		j.runChunk(0, n, body)
+		if te := j.failure.Load(); te != nil {
+			return te
 		}
+		return nil
 	}
+	j.done = make(chan struct{})
 
 	helpers := par - 1
 	if helpers > chunks-1 {
@@ -128,7 +136,7 @@ func (p *Pool) ForMax(n, grain, maxPar int, body func(lo, hi int)) {
 	}
 	for i := 0; i < helpers; i++ {
 		if !p.trySubmit(func(w *Worker) any {
-			drain(w.local)
+			j.drain(w.local, body)
 			return nil
 		}) {
 			break // queue full or pool closed; the caller still finishes
@@ -136,14 +144,18 @@ func (p *Pool) ForMax(n, grain, maxPar int, body func(lo, hi int)) {
 	}
 
 	loc := metrics.Acquire()
-	drain(loc)
+	j.drain(loc, body)
 	// The counter is drained; wait for chunks still in flight on workers.
 	loc.IncPark()
-	<-done
+	<-j.done
 	// The barrier release is counted by the caller, not by whichever
 	// drain closed the channel: a helper bumping after close would race
 	// the caller's return and could land in a later measurement window.
 	loc.IncNotify()
+	if te := j.failure.Load(); te != nil {
+		return te
+	}
+	return nil
 }
 
 // trySubmit enqueues a task without ever blocking: a full submission
@@ -164,4 +176,3 @@ func (p *Pool) trySubmit(fn Fn) bool {
 		return false
 	}
 }
-

@@ -1,0 +1,136 @@
+// Fault domain of the fork–join substrate. A panic inside a task body or a
+// parallel-for chunk must never take down a pool worker, leak a helper
+// goroutine, or wedge the completion barrier; it is converted into a
+// *TaskError (first failure wins) and the job's remaining chunks are
+// cancelled via a per-job cancellation token checked at every chunk claim.
+// The legacy For/ForMax/Join APIs re-panic the TaskError at the join point
+// — the fork/join exception-propagation discipline — while the new
+// ForE/ForMaxE entry points surface it as an ordinary error.
+package forkjoin
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+
+	"renaissance/internal/chaos"
+	"renaissance/internal/metrics"
+)
+
+// TaskError wraps the first panic recovered from a parallel job's chunk or
+// from a pool task, with the panicking goroutine's stack attached. Sibling
+// chunks of the same job are cancelled at their next chunk claim; chunks
+// already executing run to completion before the barrier releases, so no
+// goroutine outlives the join.
+type TaskError struct {
+	// Index is the start index of the chunk whose body panicked, or -1 for
+	// a pool task submitted via Submit/Fork.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the stack of the panicking goroutine.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("forkjoin: task panicked at index %d: %v", e.Index, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error (e.g. a
+// chaos.InjectedError), so errors.Is/As see through the wrapper.
+func (e *TaskError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// parJob is the shared state of one ForMaxE invocation: the chunk-claim
+// counter, the completion count, the cancellation token, and the
+// first-failure slot. Every executor (caller and helpers) drains the same
+// job; cancellation is observed at chunk-claim granularity.
+type parJob struct {
+	n, grain  int
+	chunks    int64
+	next      atomic.Int64
+	completed atomic.Int64
+	cancelled atomic.Bool
+	failure   atomic.Pointer[TaskError]
+	done      chan struct{}
+}
+
+// drain claims and executes chunks until the range is exhausted or the job
+// is cancelled. The cancellation token is checked before every claim, so a
+// failing job stops scheduling new work within one chunk per executor.
+func (j *parJob) drain(loc metrics.Local, body func(lo, hi int)) {
+	for {
+		if j.cancelled.Load() {
+			return
+		}
+		lo := int(j.next.Add(int64(j.grain))) - j.grain
+		if lo >= j.n {
+			return
+		}
+		// Counted per successful claim (= per chunk), not per fetch-add
+		// attempt, so metric totals do not depend on scheduling timing.
+		loc.IncAtomic()
+		hi := lo + j.grain
+		if hi > j.n {
+			hi = j.n
+		}
+		j.runChunk(lo, hi, body)
+		if j.completed.Add(1) == j.chunks {
+			close(j.done)
+			return
+		}
+	}
+}
+
+// runChunk executes one chunk under a recover that converts a panic into
+// the job's failure and cancels the siblings.
+func (j *parJob) runChunk(lo, hi int, body func(lo, hi int)) {
+	defer func() {
+		if p := recover(); p != nil {
+			j.fail(lo, p)
+		}
+	}()
+	if chaos.Maybe("forkjoin.claim") {
+		panic(&chaos.InjectedError{Point: "forkjoin.claim"})
+	}
+	body(lo, hi)
+}
+
+// fail records the job's first failure and cancels the remaining chunks. A
+// nested job's re-panicked *TaskError keeps its identity (the innermost
+// failing chunk) instead of being re-wrapped at every level.
+func (j *parJob) fail(lo int, p any) {
+	te, ok := p.(*TaskError)
+	if !ok {
+		te = &TaskError{Index: lo, Value: p, Stack: debug.Stack()}
+	}
+	j.failure.CompareAndSwap(nil, te)
+	j.cancel()
+}
+
+// cancel flips the cancellation token and swallows every not-yet-claimed
+// chunk through the same claim counter the executors use, so each chunk is
+// accounted exactly once (executed or swallowed) and the completion
+// barrier releases exactly when the last in-flight chunk finishes — no
+// stuck barrier, no helper outliving the join, whichever executor fails.
+func (j *parJob) cancel() {
+	if j.cancelled.Swap(true) {
+		return
+	}
+	var skipped int64
+	for {
+		lo := int(j.next.Add(int64(j.grain))) - j.grain
+		if lo >= j.n {
+			break
+		}
+		skipped++
+	}
+	if skipped > 0 && j.completed.Add(skipped) == j.chunks {
+		close(j.done)
+	}
+}

@@ -1,0 +1,210 @@
+package forkjoin
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEPanicReturnsTaskError(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	err := p.ForE(1000, 1, func(lo, hi int) {
+		if lo == 500 {
+			panic("chunk failure")
+		}
+	})
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("ForE error = %v, want *TaskError", err)
+	}
+	if te.Index != 500 || te.Value != "chunk failure" {
+		t.Errorf("TaskError = {Index:%d Value:%v}, want {500 chunk failure}", te.Index, te.Value)
+	}
+	if len(te.Stack) == 0 {
+		t.Error("TaskError carries no stack")
+	}
+}
+
+func TestForEPanicSingleChunkFastPath(t *testing.T) {
+	// n <= grain takes the no-barrier fast path; the failure must still
+	// surface as a TaskError, not escape as a panic.
+	p := NewPool(2)
+	defer p.Close()
+
+	err := p.ForE(3, 10, func(lo, hi int) { panic("tiny") })
+	var te *TaskError
+	if !errors.As(err, &te) || te.Value != "tiny" {
+		t.Fatalf("single-chunk ForE error = %v, want TaskError(tiny)", err)
+	}
+}
+
+func TestForPanicRepanicsAtJoin(t *testing.T) {
+	// The legacy For keeps the fork/join exception-propagation contract:
+	// the TaskError is re-panicked at the join point.
+	p := NewPool(4)
+	defer p.Close()
+
+	defer func() {
+		p := recover()
+		te, ok := p.(*TaskError)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *TaskError", p, p)
+		}
+		if te.Value != "legacy" {
+			t.Errorf("TaskError.Value = %v, want legacy", te.Value)
+		}
+	}()
+	p.For(100, 1, func(lo, hi int) {
+		if lo == 50 {
+			panic("legacy")
+		}
+	})
+	t.Fatal("For returned normally after a chunk panic")
+}
+
+func TestForEFirstFailureWinsAndCancels(t *testing.T) {
+	// Exactly one failure is reported; sibling chunks stop being claimed
+	// after cancellation, and the barrier still releases.
+	p := NewPool(4)
+	defer p.Close()
+
+	var executed atomic.Int64
+	err := p.ForE(10000, 1, func(lo, hi int) {
+		executed.Add(1)
+		panic(lo) // every chunk fails; first one in wins
+	})
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("error = %v, want *TaskError", err)
+	}
+	if te.Value.(int) != te.Index {
+		t.Errorf("winner Index %d != Value %v", te.Index, te.Value)
+	}
+	// Cancellation is claim-granular: at most one in-flight chunk per
+	// executor (workers + caller) runs after the first failure.
+	if n := executed.Load(); n > int64(p.Parallelism()+1) {
+		t.Errorf("%d chunks executed after universal failure, want <= %d",
+			n, p.Parallelism()+1)
+	}
+}
+
+func TestInvokePanicRepanicsTaskError(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+
+	defer func() {
+		te, ok := recover().(*TaskError)
+		if !ok || te.Value != "task" || te.Index != -1 {
+			t.Fatalf("recovered %v, want TaskError{Index:-1 Value:task}", te)
+		}
+	}()
+	p.Invoke(func(w *Worker) any { panic("task") })
+	t.Fatal("Invoke returned normally after a task panic")
+}
+
+func TestSubmitPanicSurfacesViaErr(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+
+	task := p.Submit(func(w *Worker) any { panic("submitted") })
+	deadline := time.Now().Add(5 * time.Second)
+	for !task.IsDone() {
+		if time.Now().After(deadline) {
+			t.Fatal("panicked task never completed")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	var te *TaskError
+	if !errors.As(task.Err(), &te) || te.Value != "submitted" {
+		t.Fatalf("task.Err() = %v, want TaskError(submitted)", task.Err())
+	}
+}
+
+func TestJoinRepanicsNestedTaskIdentity(t *testing.T) {
+	// A nested fork whose panic crosses two joins keeps the innermost
+	// TaskError identity instead of being re-wrapped per level.
+	p := NewPool(4)
+	defer p.Close()
+
+	var inner *TaskError
+	got := p.Invoke(func(w *Worker) any {
+		child := w.Fork(func(w *Worker) any { panic("deep") })
+		defer func() {
+			te, ok := recover().(*TaskError)
+			if ok {
+				inner = te
+			}
+			// Swallow: the outer task completes normally after observing it.
+		}()
+		w.Join(child)
+		return nil
+	})
+	_ = got
+	if inner == nil || inner.Value != "deep" {
+		t.Fatalf("inner join recovered %+v, want TaskError(deep)", inner)
+	}
+}
+
+func TestPanickingPartitionNestedForNoDeadlock(t *testing.T) {
+	// Regression for the fault-domain contract on the shared pool: a
+	// partition task that panics while sibling partitions run nested Fors
+	// (the wide-RDD shuffle shape) must neither wedge the outer barrier nor
+	// poison the pool for later jobs. Runs repeatedly to shake worker/
+	// caller interleavings; `make stress` picks this up via the Panic
+	// pattern.
+	for round := 0; round < 20; round++ {
+		var nestedDone atomic.Int64
+		err := Shared().ForE(8, 1, func(lo, hi int) {
+			if lo == 3 {
+				panic("partition down")
+			}
+			ForE(256, 0, func(lo, hi int) { // nested parallel-for, caller-runs
+				for i := lo; i < hi; i++ {
+					nestedDone.Add(1)
+				}
+			})
+		})
+		var te *TaskError
+		if !errors.As(err, &te) || te.Value != "partition down" {
+			t.Fatalf("round %d: err = %v, want TaskError(partition down)", round, err)
+		}
+	}
+	// The shared pool must still run clean jobs at full coverage.
+	var sum atomic.Int64
+	if err := ForE(1000, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum.Add(int64(i))
+		}
+	}); err != nil {
+		t.Fatalf("clean ForE after fault rounds: %v", err)
+	}
+	if sum.Load() != 499500 {
+		t.Errorf("post-fault coverage sum = %d, want 499500", sum.Load())
+	}
+}
+
+func TestForEPanicNoGoroutineLeak(t *testing.T) {
+	// Helpers are pool tasks, not goroutines, so panicking jobs must leave
+	// the goroutine count flat; a stuck barrier would strand the caller.
+	Shared().For(16, 1, func(lo, hi int) {}) // warm the shared pool up front
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		_ = ForE(1024, 1, func(lo, hi int) {
+			if lo%7 == 0 {
+				panic("leak probe")
+			}
+		})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

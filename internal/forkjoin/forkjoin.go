@@ -13,6 +13,7 @@ package forkjoin
 import (
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -28,6 +29,10 @@ type Task struct {
 	fn     Fn
 	done   atomic.Bool
 	result any
+	// err holds the *TaskError of a panicking body, written before done is
+	// published. Join re-panics it (fork/join exception propagation); Err
+	// exposes it to callers that prefer inspecting.
+	err    *TaskError
 	doneCh chan struct{}
 	// quiet suppresses completion metric bumps: For helper tasks are
 	// never joined and may outlive the For that submitted them, so their
@@ -60,6 +65,16 @@ func (t *Task) IsDone() bool {
 // Result returns the task result; it must only be called after the task is
 // known to be done.
 func (t *Task) Result() any { return t.result }
+
+// Err returns the task's failure (a *TaskError wrapping a recovered body
+// panic), or nil. It must only be called after the task is known to be
+// done.
+func (t *Task) Err() error {
+	if t.err == nil {
+		return nil
+	}
+	return t.err
+}
 
 // Pool is a fork-join pool with a fixed number of workers.
 type Pool struct {
@@ -143,11 +158,15 @@ func (p *Pool) Submit(fn Fn) *Task {
 	return t
 }
 
-// Invoke submits fn and blocks until it completes, returning its result.
+// Invoke submits fn and blocks until it completes, returning its result. A
+// panicking fn is re-panicked here as a *TaskError (the join point).
 func (p *Pool) Invoke(fn Fn) any {
 	t := p.Submit(fn)
 	metrics.IncPark()
 	<-t.doneCh
+	if t.err != nil {
+		panic(t.err)
+	}
 	return t.result
 }
 
@@ -168,7 +187,20 @@ func (w *Worker) run() {
 	}
 }
 
+// exec runs one task under a recover: a panicking body is converted to a
+// *TaskError on the task and completes it, so a misbehaving task can never
+// take down a pool worker or leave a joiner parked forever.
 func (w *Worker) exec(t *Task) {
+	defer func() {
+		if p := recover(); p != nil {
+			if te, ok := p.(*TaskError); ok {
+				t.err = te // a nested join's re-panic keeps its identity
+			} else {
+				t.err = &TaskError{Index: -1, Value: p, Stack: debug.Stack()}
+			}
+			t.complete(nil, w.local)
+		}
+	}()
 	v := t.fn(w)
 	t.complete(v, w.local)
 }
@@ -223,11 +255,16 @@ func (w *Worker) Fork(fn Fn) *Task {
 
 // Join waits for the task to finish, helping execute pending tasks while
 // it waits (the fork-join "helping" discipline that avoids blocking worker
-// threads).
+// threads). A task whose body panicked re-panics its *TaskError here, at
+// the join point — the fork/join exception-propagation contract. Use
+// Task.Err after IsDone to inspect without panicking.
 func (w *Worker) Join(t *Task) any {
 	for {
 		w.local.IncAtomic()
 		if t.done.Load() {
+			if t.err != nil {
+				panic(t.err)
+			}
 			return t.result
 		}
 		if other := w.findTask(); other != nil {

@@ -53,13 +53,19 @@ const (
 	Array                   // arrays (slices) allocated
 	Method                  // dynamic dispatch (virtual/interface calls)
 	IDynamic                // invokedynamic analogues (closure dispatch)
+	// DeadLetter extends Table 2 with a fault-path counter: messages that
+	// could not be delivered (sends to stopped actors, mailbox drains of a
+	// stopped actor, shed netstack requests). It quantifies the
+	// concurrency-primitive cost of failure handling the same way the
+	// other counters quantify the happy path.
+	DeadLetter
 
 	NumMetrics // number of metrics
 )
 
 var metricNames = [NumMetrics]string{
 	"synch", "wait", "notify", "atomic", "park", "cpu",
-	"cachemiss", "object", "array", "method", "idynamic",
+	"cachemiss", "object", "array", "method", "idynamic", "deadletter",
 }
 
 // String returns the paper's short name for the metric.
@@ -266,6 +272,9 @@ func (l Local) AddIDynamic(n int64) { l.sh.lanes[IDynamic].v.Add(n) }
 // AddCacheMiss records n simulated cache misses.
 func (l Local) AddCacheMiss(n int64) { l.sh.lanes[CacheMiss].v.Add(n) }
 
+// IncDeadLetter records one dropped or dead-lettered message.
+func (l Local) IncDeadLetter() { l.sh.lanes[DeadLetter].v.Add(1) }
+
 // A Snapshot is a point-in-time copy of the counters.
 type Snapshot struct {
 	Counts [NumMetrics]int64
@@ -333,3 +342,8 @@ func AddIDynamic(n int64) { Default.Add(IDynamic, n) }
 // AddCacheMiss records n simulated cache misses (used by the RVM cache
 // simulator and by the allocation-pressure proxy).
 func AddCacheMiss(n int64) { Default.Add(CacheMiss, n) }
+
+// IncDeadLetter records one dropped or dead-lettered message (a send to a
+// stopped actor, a message drained from a stopped actor's mailbox, or a
+// shed netstack request).
+func IncDeadLetter() { Default.Add(DeadLetter, 1) }

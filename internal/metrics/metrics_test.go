@@ -10,7 +10,7 @@ import (
 func TestMetricNames(t *testing.T) {
 	want := []string{
 		"synch", "wait", "notify", "atomic", "park", "cpu",
-		"cachemiss", "object", "array", "method", "idynamic",
+		"cachemiss", "object", "array", "method", "idynamic", "deadletter",
 	}
 	for i, w := range want {
 		if got := Metric(i).String(); got != w {

@@ -1,0 +1,174 @@
+// Client-side fault domain: a per-service circuit breaker and the retry
+// classification that decides which errors are worth backing off on.
+//
+// The breaker is the classic three-state machine. Closed passes calls
+// through and counts consecutive failures; Threshold failures open it.
+// Open fails calls fast with ErrBreakerOpen until Cooldown elapses, then
+// half-open admits exactly one probe: a successful probe closes the
+// breaker, a failed one re-opens it for another Cooldown. All transitions
+// are lock-free (state/failure/deadline atomics plus a probe CAS), so the
+// breaker adds two atomic loads to a healthy call.
+package netstack
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"renaissance/internal/chaos"
+)
+
+// ErrShed is returned by Client calls whose request the server rejected
+// under load shedding (see Server.MaxPending). It is retryable: the
+// request was never executed.
+var ErrShed = errors.New("netstack: request shed by server")
+
+// ErrBreakerOpen is returned by Client calls failed fast by an open
+// circuit breaker. It is retryable: a later attempt may find the breaker
+// half-open and probe the service.
+var ErrBreakerOpen = errors.New("netstack: circuit breaker open")
+
+// DefaultCooldown is the open-state duration when BreakerPolicy.Cooldown
+// is unset.
+const DefaultCooldown = 100 * time.Millisecond
+
+// BreakerPolicy configures a circuit breaker.
+type BreakerPolicy struct {
+	// Threshold is the consecutive-failure count that opens the breaker.
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe; 0 means DefaultCooldown.
+	Cooldown time.Duration
+}
+
+// breaker states
+const (
+	breakerClosed int32 = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Breaker is a three-state circuit breaker shared by every call of one
+// client (one service, in Finagle terms).
+type Breaker struct {
+	threshold int32
+	cooldown  time.Duration
+	state     atomic.Int32
+	failures  atomic.Int32
+	until     atomic.Int64 // unix nanos when the open state expires
+	probing   atomic.Bool  // the single half-open probe slot
+}
+
+// NewBreaker creates a breaker from the policy; a Threshold <= 0 returns
+// nil (breaker disabled), which every method treats as pass-through.
+func NewBreaker(p BreakerPolicy) *Breaker {
+	if p.Threshold <= 0 {
+		return nil
+	}
+	cd := p.Cooldown
+	if cd <= 0 {
+		cd = DefaultCooldown
+	}
+	return &Breaker{threshold: int32(p.Threshold), cooldown: cd}
+}
+
+// State returns the current state as a string ("closed", "open",
+// "half-open"), for logs and tests.
+func (b *Breaker) State() string {
+	if b == nil {
+		return "closed"
+	}
+	switch b.state.Load() {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// Allow reports whether a call may proceed, transitioning open →
+// half-open when the cooldown has elapsed. In half-open only one caller
+// wins the probe slot; the rest fail fast.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	switch b.state.Load() {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if time.Now().UnixNano() < b.until.Load() {
+			return ErrBreakerOpen
+		}
+		if !b.state.CompareAndSwap(breakerOpen, breakerHalfOpen) {
+			return ErrBreakerOpen // another caller transitioned first
+		}
+		b.probing.Store(false)
+		fallthrough
+	default: // half-open: admit exactly one probe
+		if b.probing.CompareAndSwap(false, true) {
+			return nil
+		}
+		return ErrBreakerOpen
+	}
+}
+
+// onSuccess records a successful call: it resets the failure ladder and
+// closes the breaker from any state.
+func (b *Breaker) onSuccess() {
+	if b == nil {
+		return
+	}
+	b.failures.Store(0)
+	b.state.Store(breakerClosed)
+	b.probing.Store(false)
+}
+
+// onFailure records a failed call: a failed half-open probe re-opens the
+// breaker immediately; in closed, Threshold consecutive failures open it.
+func (b *Breaker) onFailure() {
+	if b == nil {
+		return
+	}
+	if b.state.Load() == breakerHalfOpen {
+		b.trip()
+		return
+	}
+	if b.failures.Add(1) >= b.threshold {
+		b.trip()
+	}
+}
+
+func (b *Breaker) trip() {
+	b.until.Store(time.Now().Add(b.cooldown).UnixNano())
+	b.state.Store(breakerOpen)
+	b.failures.Store(0)
+	b.probing.Store(false)
+}
+
+// Retryable classifies a Client call error: true means transient — worth
+// a backoff and another attempt (shed requests, an open breaker, IO and
+// dial failures, injected faults) — false means retrying cannot help
+// (closed client, application-level failures), so callers should fail
+// fast. The client's own retry loop consults it, stopping early on a
+// non-retryable error however many retries the policy allows.
+func Retryable(err error) bool {
+	if err == nil || errors.Is(err, ErrClosed) {
+		return false
+	}
+	if errors.Is(err, ErrShed) || errors.Is(err, ErrBreakerOpen) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.ErrClosedPipe) {
+		return true
+	}
+	var inj *chaos.InjectedError
+	return errors.As(err, &inj)
+}

@@ -1,0 +1,336 @@
+package netstack
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"renaissance/internal/chaos"
+	"renaissance/internal/futures"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	b := NewBreaker(BreakerPolicy{Threshold: 3, Cooldown: 20 * time.Millisecond})
+	if b.State() != "closed" {
+		t.Fatalf("initial state = %s", b.State())
+	}
+	// Threshold-1 failures keep it closed; one success resets the ladder.
+	b.onFailure()
+	b.onFailure()
+	b.onSuccess()
+	b.onFailure()
+	b.onFailure()
+	if b.State() != "closed" {
+		t.Fatalf("state after interleaved failures = %s, want closed", b.State())
+	}
+	b.onFailure() // third consecutive: trips
+	if b.State() != "open" {
+		t.Fatalf("state after threshold failures = %s, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Allow while open = %v, want ErrBreakerOpen", err)
+	}
+
+	// After the cooldown exactly one probe is admitted.
+	time.Sleep(25 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not admitted after cooldown: %v", err)
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+
+	// A failed probe re-opens; a successful one closes.
+	b.onFailure()
+	if b.State() != "open" {
+		t.Fatalf("state after failed probe = %s, want open", b.State())
+	}
+	time.Sleep(25 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe not admitted: %v", err)
+	}
+	b.onSuccess()
+	if b.State() != "closed" {
+		t.Fatalf("state after successful probe = %s, want closed", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow after close: %v", err)
+	}
+}
+
+func TestBreakerNilPassThrough(t *testing.T) {
+	b := NewBreaker(BreakerPolicy{Threshold: 0}) // disabled
+	if b != nil {
+		t.Fatal("Threshold 0 did not disable the breaker")
+	}
+	if err := b.Allow(); err != nil {
+		t.Errorf("nil breaker Allow = %v", err)
+	}
+	b.onSuccess()
+	b.onFailure()
+	if b.State() != "closed" {
+		t.Errorf("nil breaker State = %s", b.State())
+	}
+}
+
+func TestBreakerHalfOpenSingleProbeRace(t *testing.T) {
+	b := NewBreaker(BreakerPolicy{Threshold: 1, Cooldown: 5 * time.Millisecond})
+	b.onFailure()
+	time.Sleep(10 * time.Millisecond)
+	var wg sync.WaitGroup
+	var wins int64
+	var mu sync.Mutex
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() == nil {
+				mu.Lock()
+				wins++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if wins != 1 {
+		t.Errorf("%d callers won the half-open probe slot, want 1", wins)
+	}
+}
+
+// Satellite regression: retry classification. ErrShed, ErrBreakerOpen, IO
+// and network failures, and injected chaos faults back off and retry;
+// ErrClosed and application-level errors fail fast.
+func TestRetryableClassification(t *testing.T) {
+	retryable := []error{
+		ErrShed,
+		ErrBreakerOpen,
+		fmt.Errorf("attempt 3: %w", ErrShed), // wrapped
+		io.EOF,
+		io.ErrUnexpectedEOF,
+		io.ErrClosedPipe,
+		net.ErrClosed,
+		&net.OpError{Op: "read", Err: errors.New("connection reset")},
+		&chaos.InjectedError{Point: "netstack.read"},
+		fmt.Errorf("wrapped: %w", &chaos.InjectedError{Point: "netstack.write"}),
+	}
+	for _, err := range retryable {
+		if !Retryable(err) {
+			t.Errorf("Retryable(%v) = false, want true", err)
+		}
+	}
+	final := []error{
+		nil,
+		ErrClosed,
+		fmt.Errorf("call: %w", ErrClosed),
+		errors.New("application rejected the request"),
+	}
+	for _, err := range final {
+		if Retryable(err) {
+			t.Errorf("Retryable(%v) = true, want false", err)
+		}
+	}
+}
+
+// gate is a service that parks requests until released, so tests can pin
+// the server's in-flight count at will.
+type gate struct {
+	mu      sync.Mutex
+	pending []*futures.Promise[[]byte]
+}
+
+func (g *gate) service(req []byte) *futures.Future[[]byte] {
+	p := futures.NewPromise[[]byte]()
+	g.mu.Lock()
+	g.pending = append(g.pending, p)
+	g.mu.Unlock()
+	return p.Future()
+}
+
+func (g *gate) releaseAll() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, p := range g.pending {
+		_ = p.Success([]byte("done"))
+	}
+	g.pending = nil
+}
+
+func (g *gate) count() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.pending)
+}
+
+func TestServerShedsBeyondMaxPending(t *testing.T) {
+	g := &gate{}
+	srv, err := Serve("127.0.0.1:0", g.service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.MaxPending = 2
+	srv.DrainTimeout = 50 * time.Millisecond
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Fill the pending window, waiting until the server holds both.
+	f1 := cli.Call([]byte("a"))
+	f2 := cli.Call([]byte("b"))
+	deadline := time.Now().Add(5 * time.Second)
+	for g.count() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never accepted the first two requests")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The third request must be shed, typed as ErrShed, without retries.
+	_, err = cli.CallSync([]byte("c"))
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("overload call = %v, want ErrShed", err)
+	}
+	if srv.Shed.Load() == 0 {
+		t.Error("Server.Shed counter not bumped")
+	}
+
+	// Releasing the window lets both parked calls and new traffic through:
+	// the shed response never poisoned the pooled connections.
+	g.releaseAll()
+	for _, f := range []*futures.Future[[]byte]{f1, f2} {
+		resp, err := f.Await()
+		if err != nil || !bytes.Equal(resp, []byte("done")) {
+			t.Errorf("parked call = (%q, %v), want (done, nil)", resp, err)
+		}
+	}
+	stop := make(chan struct{})
+	var releaser sync.WaitGroup
+	releaser.Add(1)
+	go func() {
+		defer releaser.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+				g.releaseAll()
+			}
+		}
+	}()
+	resp, err := cli.CallSync([]byte("after"))
+	close(stop)
+	releaser.Wait()
+	if err != nil || !bytes.Equal(resp, []byte("done")) {
+		t.Errorf("post-shed call = (%q, %v), want (done, nil)", resp, err)
+	}
+}
+
+func TestClientRetriesShedRequests(t *testing.T) {
+	// With a retry policy, a shed response backs off and retries; once the
+	// window clears, the retry succeeds — load shedding composes with the
+	// retry loop instead of failing the call outright.
+	g := &gate{}
+	srv, err := Serve("127.0.0.1:0", g.service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.MaxPending = 1
+	srv.DrainTimeout = 50 * time.Millisecond
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.Retry = RetryPolicy{Max: 5, Backoff: 5 * time.Millisecond}
+
+	blocker := cli.Call([]byte("hog"))
+	deadline := time.Now().Add(5 * time.Second)
+	for g.count() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never parked the hog request")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Free the window shortly after the second call starts retrying.
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		for i := 0; i < 100; i++ {
+			g.releaseAll()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	resp, err := cli.CallSync([]byte("patient"))
+	if err != nil || !bytes.Equal(resp, []byte("done")) {
+		t.Fatalf("retried shed call = (%q, %v), want (done, nil)", resp, err)
+	}
+	if _, err := blocker.Await(); err != nil {
+		t.Errorf("hog call failed: %v", err)
+	}
+}
+
+func TestClientBreakerFailsFastAndRecovers(t *testing.T) {
+	// After the server dies the breaker opens within Threshold failed
+	// calls; further calls fail fast with ErrBreakerOpen instead of
+	// redialing, until a half-open probe finds the service back.
+	srv, err := Serve("127.0.0.1:0", echoService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(srv.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.Breaker = NewBreaker(BreakerPolicy{Threshold: 2, Cooldown: 50 * time.Millisecond})
+	cli.Timeout = 100 * time.Millisecond
+
+	if resp, err := cli.CallSync([]byte("warm")); err != nil || !bytes.Equal(resp, []byte("warm")) {
+		t.Fatalf("healthy call = (%q, %v)", resp, err)
+	}
+	srv.DrainTimeout = 10 * time.Millisecond
+	_ = srv.Close()
+
+	// Two failing calls trip the breaker (each call's attempts all fail).
+	for i := 0; i < 2; i++ {
+		if _, err := cli.CallSync([]byte("x")); err == nil {
+			t.Fatal("call against closed server succeeded")
+		}
+	}
+	if cli.Breaker.State() != "open" {
+		t.Fatalf("breaker state = %s after repeated failures, want open", cli.Breaker.State())
+	}
+	if _, err := cli.CallSync([]byte("y")); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open-breaker call = %v, want ErrBreakerOpen", err)
+	}
+
+	// Bring a fresh server up on the same port so the half-open probe can
+	// succeed and close the breaker again.
+	srv2, err := Serve(srv.Addr(), echoService)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", srv.Addr(), err)
+	}
+	defer srv2.Close()
+	time.Sleep(60 * time.Millisecond) // let the cooldown elapse
+	cli.Retry = RetryPolicy{Max: 3, Backoff: 10 * time.Millisecond}
+	resp, err := cli.CallSync([]byte("back"))
+	if err != nil || !bytes.Equal(resp, []byte("back")) {
+		t.Fatalf("post-recovery call = (%q, %v), want (back, nil)", resp, err)
+	}
+	if cli.Breaker.State() != "closed" {
+		t.Errorf("breaker state = %s after recovery, want closed", cli.Breaker.State())
+	}
+}

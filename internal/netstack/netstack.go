@@ -19,6 +19,7 @@
 package netstack
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"renaissance/internal/chaos"
 	"renaissance/internal/futures"
 	"renaissance/internal/metrics"
 )
@@ -50,8 +52,16 @@ var ErrDrainTimeout = errors.New("netstack: drain timeout exceeded")
 // Service handles one request and eventually produces a response.
 type Service func(req []byte) *futures.Future[[]byte]
 
+// shedPayload is the reserved response payload announcing that the server
+// dropped the request under load shedding; the client converts it to
+// ErrShed. It rides the server's "ERR:"-prefix error convention.
+var shedPayload = []byte("ERR:shed")
+
 // readFrame reads one length-prefixed frame.
 func readFrame(r io.Reader) ([]byte, error) {
+	if chaos.Maybe("netstack.read") {
+		return nil, chaos.Fail("netstack.read")
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -70,6 +80,9 @@ func readFrame(r io.Reader) ([]byte, error) {
 
 // writeFrame writes one length-prefixed frame.
 func writeFrame(w io.Writer, payload []byte) error {
+	if chaos.Maybe("netstack.write") {
+		return chaos.Fail("netstack.write")
+	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -88,12 +101,21 @@ type Server struct {
 	// DrainTimeout bounds how long Close waits for connections to drain
 	// gracefully before force-closing them (DefaultDrainTimeout when 0).
 	DrainTimeout time.Duration
+	// MaxPending bounds concurrently in-flight requests (accepted but not
+	// yet answered) across all connections; excess requests are rejected
+	// immediately with a shed response instead of queueing behind the
+	// service. 0 disables shedding.
+	MaxPending int
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 
 	// Requests counts served requests, for benchmark validation.
 	Requests atomic.Int64
+	// Shed counts requests rejected under load shedding. Shed requests are
+	// not counted in Requests — they never reached the service.
+	Shed     atomic.Int64
+	inFlight atomic.Int64
 }
 
 // Serve starts a server on the given address ("127.0.0.1:0" picks a free
@@ -158,6 +180,19 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			break
 		}
+		if s.MaxPending > 0 && s.inFlight.Add(1) > int64(s.MaxPending) {
+			// Bounded-queue load shedding: answer immediately with the
+			// shed marker instead of queueing behind the service. A shed
+			// request is a dropped message in the fault-path accounting.
+			s.inFlight.Add(-1)
+			s.Shed.Add(1)
+			metrics.IncDeadLetter()
+			metrics.IncSynch()
+			writeMu.Lock()
+			_ = writeFrame(conn, shedPayload)
+			writeMu.Unlock()
+			continue
+		}
 		metrics.IncAtomic()
 		s.Requests.Add(1)
 		metrics.IncIDynamic()
@@ -165,6 +200,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		pending.Add(1)
 		fut.OnComplete(func(resp []byte, err error) {
 			defer pending.Done()
+			if s.MaxPending > 0 {
+				s.inFlight.Add(-1)
+			}
 			if err != nil {
 				resp = append([]byte("ERR:"), err.Error()...)
 			}
@@ -252,7 +290,14 @@ type Client struct {
 	// > 0; a timed-out connection is discarded and redialed.
 	Timeout time.Duration
 	// Retry configures retry-with-backoff for transient dial/IO errors.
+	// Only errors Retryable reports true for are retried; the rest fail
+	// fast whatever Max allows.
 	Retry RetryPolicy
+	// Breaker, when non-nil (see NewBreaker), fail-fasts calls while the
+	// service is unhealthy: every attempt consults it, every outcome feeds
+	// it. Shed responses count as failures — sustained overload opens the
+	// breaker and backpressure moves into the client.
+	Breaker *Breaker
 
 	closed atomic.Bool
 	mu     sync.Mutex
@@ -363,26 +408,43 @@ func (c *Client) Call(req []byte) *futures.Future[[]byte] {
 				time.Sleep(backoff)
 				backoff *= 2
 			}
+			if err := c.Breaker.Allow(); err != nil {
+				// Fail fast without touching the pool; a later attempt may
+				// find the breaker half-open and probe.
+				lastErr = err
+				continue
+			}
 			pc, err := c.acquire()
 			if err == ErrClosed {
 				_ = p.Failure(ErrClosed)
 				return
 			}
 			if err != nil {
+				c.Breaker.onFailure()
 				lastErr = err // transient dial error; back off and retry
 				continue
 			}
 			resp, err := c.roundTrip(pc.conn, req)
+			if err == nil && bytes.Equal(resp, shedPayload) {
+				// The server dropped the request under load; the
+				// connection itself is healthy, so keep it pooled.
+				c.Breaker.onFailure()
+				c.release(pc)
+				lastErr = ErrShed
+				continue
+			}
 			if err == nil {
+				c.Breaker.onSuccess()
 				// Return the connection before completing so dependent
 				// calls in the continuation can acquire it.
 				c.release(pc)
 				_ = p.Success(resp)
 				return
 			}
+			c.Breaker.onFailure()
 			lastErr = err
 			c.discard(pc)
-			if c.closed.Load() {
+			if c.closed.Load() || !Retryable(err) {
 				break
 			}
 		}

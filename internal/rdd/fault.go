@@ -1,0 +1,154 @@
+// Error-surfacing actions. The legacy actions (Collect, Count, Reduce,
+// Aggregate) follow the fork–join discipline of re-panicking a partition
+// task's failure at the join; these variants run the same fused pipelines
+// through forkjoin.ForE and return the first failure as a *forkjoin.
+// TaskError instead. A failing partition cancels its unclaimed siblings,
+// so the action returns promptly without leaking executor helpers.
+//
+// A panic inside a shuffle (wide dependency) poisons that shuffle's
+// sync.Once: the exchange is not retried, and downstream partitions that
+// need its buckets fail in turn. That is deliberate degradation — the
+// action surfaces an error and every executor unwinds — rather than a
+// partial silent result.
+package rdd
+
+import (
+	"renaissance/internal/forkjoin"
+	"renaissance/internal/metrics"
+)
+
+// collectPartitionsE evaluates every partition like collectPartitions,
+// returning the first partition failure instead of panicking.
+func collectPartitionsE[T any](r *RDD[T]) ([][]T, error) {
+	metrics.IncArray()
+	out := make([][]T, r.numPartitions)
+	err := forkjoin.ForE(r.numPartitions, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			out[p] = r.partition(p)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CollectE evaluates the dataset and returns all elements, surfacing a
+// partition panic as an error.
+func (r *RDD[T]) CollectE() ([]T, error) {
+	parts, err := collectPartitionsE(r)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	metrics.IncArray()
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// CountE counts elements like Count, surfacing a partition panic as an
+// error.
+func (r *RDD[T]) CountE() (int, error) {
+	counts := make([]int, r.numPartitions)
+	err := forkjoin.ForE(r.numPartitions, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			metrics.IncMethod()
+			n := 0
+			r.run(p, func(T) bool { n++; return true })
+			counts[p] = n
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total, nil
+}
+
+// ReduceE folds all elements like Reduce, surfacing a partition panic as
+// an error (ErrEmpty still reports an empty dataset).
+func (r *RDD[T]) ReduceE(fn func(T, T) T) (T, error) {
+	type partial struct {
+		acc  T
+		have bool
+	}
+	partials := make([]partial, r.numPartitions)
+	var zero T
+	err := forkjoin.ForE(r.numPartitions, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			metrics.IncMethod()
+			loc := metrics.Acquire()
+			var acc T
+			have := false
+			r.run(p, func(x T) bool {
+				if !have {
+					acc, have = x, true
+					return true
+				}
+				loc.IncIDynamic()
+				acc = fn(acc, x)
+				return true
+			})
+			partials[p] = partial{acc, have}
+		}
+	})
+	if err != nil {
+		return zero, err
+	}
+	acc, have := zero, false
+	for _, pt := range partials {
+		if !pt.have {
+			continue
+		}
+		if !have {
+			acc, have = pt.acc, true
+			continue
+		}
+		metrics.IncIDynamic()
+		acc = fn(acc, pt.acc)
+	}
+	if !have {
+		return acc, ErrEmpty
+	}
+	return acc, nil
+}
+
+// AggregateE folds like Aggregate, surfacing a partition panic as an
+// error.
+func AggregateE[T, A any](r *RDD[T], zero func() A, seqOp func(A, T) A, combOp func(A, A) A) (A, error) {
+	partials := make([]A, r.numPartitions)
+	err := forkjoin.ForE(r.numPartitions, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			metrics.IncMethod()
+			loc := metrics.Acquire()
+			loc.IncIDynamic()
+			acc := zero()
+			r.run(p, func(x T) bool {
+				loc.IncIDynamic()
+				acc = seqOp(acc, x)
+				return true
+			})
+			partials[p] = acc
+		}
+	})
+	var out A
+	if err != nil {
+		return out, err
+	}
+	metrics.IncIDynamic()
+	out = zero()
+	for _, p := range partials {
+		metrics.IncIDynamic()
+		out = combOp(out, p)
+	}
+	return out, nil
+}

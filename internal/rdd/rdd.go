@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"sync"
 
+	"renaissance/internal/chaos"
 	"renaissance/internal/forkjoin"
 	"renaissance/internal/metrics"
 )
@@ -487,6 +488,12 @@ func shuffle[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) [][]Pai
 
 	forkjoin.For(producers, 1, func(lo, hi int) {
 		for p := lo; p < hi; p++ {
+			if chaos.Maybe("rdd.shuffle") {
+				// A failing producer poisons this shuffle's sync.Once: the
+				// exchange is never retried and every dependent partition
+				// fails, surfacing one error from the enclosing action.
+				panic(&chaos.InjectedError{Point: "rdd.shuffle"})
+			}
 			metrics.IncMethod()
 			row := getStagingRow[K, V](pool, numPartitions, r.sizeHint(p))
 			r.run(p, func(kv Pair[K, V]) bool {

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"renaissance/internal/chaos"
 	"renaissance/internal/metrics"
 )
 
@@ -233,6 +234,12 @@ func runAttempt(tx *Tx, fn func(tx *Tx) error) (outcome attemptOutcome, err erro
 // read-write transactions advance the global clock: a read-only commit
 // validated its reads on the fly and returns without touching shared state.
 func (tx *Tx) commit() bool {
+	if chaos.Maybe("stm.commit") {
+		// An injected abort is indistinguishable from losing a real
+		// validation race: Atomically re-runs the transaction, which is
+		// exactly the degradation path under test.
+		return false
+	}
 	if len(tx.writes) == 0 {
 		// Read-only transaction: reads were validated on the fly.
 		return true

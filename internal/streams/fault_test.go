@@ -1,0 +1,77 @@
+package streams
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"renaissance/internal/forkjoin"
+)
+
+func TestParMapEPanicSurfacesTaskError(t *testing.T) {
+	xs := make([]int, 200)
+	for i := range xs {
+		xs[i] = i
+	}
+	got, err := ParMapE(xs, 4, func(x int) int {
+		if x == 123 {
+			panic("map failure")
+		}
+		return x * x
+	})
+	var te *forkjoin.TaskError
+	if !errors.As(err, &te) || te.Value != "map failure" {
+		t.Fatalf("ParMapE error = %v, want TaskError(map failure)", err)
+	}
+	if got != nil {
+		t.Errorf("ParMapE returned data alongside an error")
+	}
+
+	clean, err := ParMapE(xs, 4, func(x int) int { return x + 1 })
+	if err != nil || len(clean) != len(xs) || clean[10] != 11 {
+		t.Errorf("clean ParMapE = (%d elems, %v)", len(clean), err)
+	}
+}
+
+func TestParReduceEFaultAndClean(t *testing.T) {
+	xs := make([]int, 100)
+	for i := range xs {
+		xs[i] = i
+	}
+	sum, err := ParReduceE(xs, 4,
+		func() int { return 0 },
+		func(a, x int) int { return a + x },
+		func(a, b int) int { return a + b })
+	if err != nil || sum != 4950 {
+		t.Errorf("ParReduceE = (%d, %v), want (4950, nil)", sum, err)
+	}
+
+	_, err = ParReduceE(xs, 4,
+		func() int { return 0 },
+		func(a, x int) int {
+			if x == 50 {
+				panic("fold failure")
+			}
+			return a + x
+		},
+		func(a, b int) int { return a + b })
+	if err == nil {
+		t.Error("ParReduceE returned nil error for a panicking fold")
+	}
+}
+
+func TestParForEachEPanicDoesNotWedge(t *testing.T) {
+	xs := make([]int, 500)
+	var visited atomic.Int64
+	err := ParForEachE(xs, 8, func(int) {
+		if visited.Add(1) == 100 {
+			panic("foreach failure")
+		}
+	})
+	if err == nil {
+		t.Error("ParForEachE returned nil error for a panicking body")
+	}
+	if err := ParForEachE(xs, 8, func(int) {}); err != nil {
+		t.Errorf("clean ParForEachE after a fault: %v", err)
+	}
+}

@@ -333,6 +333,26 @@ func ParMap[T, U any](xs []T, workers int, fn func(T) U) []U {
 	return out
 }
 
+// ParMapE is ParMap surfacing a panicking fn as an error (the first
+// failure; remaining chunks are cancelled) instead of re-panicking at the
+// join. The partially filled result is discarded.
+func ParMapE[T, U any](xs []T, workers int, fn func(T) U) ([]U, error) {
+	workers = parallelWorkers(workers)
+	metrics.IncArray()
+	out := make([]U, len(xs))
+	err := forkjoin.Shared().ForMaxE(len(xs), 0, workers, func(lo, hi int) {
+		loc := metrics.Acquire()
+		for i := lo; i < hi; i++ {
+			loc.IncIDynamic()
+			out[i] = fn(xs[i])
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // ParReduce folds xs in parallel: each worker folds its chunk with fold
 // starting from init(), and merge combines the per-worker accumulators.
 func ParReduce[T, A any](xs []T, workers int, init func() A, fold func(A, T) A, merge func(A, A) A) A {
@@ -360,11 +380,53 @@ func ParReduce[T, A any](xs []T, workers int, init func() A, fold func(A, T) A, 
 	return acc
 }
 
+// ParReduceE is ParReduce surfacing a panicking fold/init as an error.
+func ParReduceE[T, A any](xs []T, workers int, init func() A, fold func(A, T) A, merge func(A, A) A) (A, error) {
+	workers = parallelWorkers(workers)
+	chunks := splitIndex(len(xs), workers)
+	partials := make([]A, len(chunks))
+	var zero A
+	err := forkjoin.Shared().ForMaxE(len(chunks), 1, workers, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			loc := metrics.Acquire()
+			loc.IncIDynamic()
+			acc := init()
+			for i := chunks[ci][0]; i < chunks[ci][1]; i++ {
+				loc.IncIDynamic()
+				acc = fold(acc, xs[i])
+			}
+			partials[ci] = acc
+		}
+	})
+	if err != nil {
+		return zero, err
+	}
+	metrics.IncIDynamic()
+	acc := init()
+	for _, p := range partials {
+		metrics.IncIDynamic()
+		acc = merge(acc, p)
+	}
+	return acc, nil
+}
+
 // ParForEach applies fn to every element with at most the given number of
 // concurrent executors, on the shared work-stealing pool.
 func ParForEach[T any](xs []T, workers int, fn func(T)) {
 	workers = parallelWorkers(workers)
 	forkjoin.Shared().ForMax(len(xs), 0, workers, func(lo, hi int) {
+		loc := metrics.Acquire()
+		for i := lo; i < hi; i++ {
+			loc.IncIDynamic()
+			fn(xs[i])
+		}
+	})
+}
+
+// ParForEachE is ParForEach surfacing a panicking fn as an error.
+func ParForEachE[T any](xs []T, workers int, fn func(T)) error {
+	workers = parallelWorkers(workers)
+	return forkjoin.Shared().ForMaxE(len(xs), 0, workers, func(lo, hi int) {
 		loc := metrics.Acquire()
 		for i := lo; i < hi; i++ {
 			loc.IncIDynamic()

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/metrics ./internal/forkjoin ./internal/stm ./internal/core ./internal/netstack ./internal/futures ./internal/rdd ./internal/streams ./internal/actors ./internal/rx ./internal/mpsc
+RACE_PKGS = ./internal/metrics ./internal/forkjoin ./internal/stm ./internal/core ./internal/netstack ./internal/futures ./internal/rdd ./internal/streams ./internal/actors ./internal/rx ./internal/mpsc ./internal/rvm ./internal/rvm/opt
 
 # The fault-tolerance and engine-concurrency tests: harness panic/timeout
 # isolation, netstack drain/close/breaker/shedding, client retry and close
@@ -14,9 +14,11 @@ RACE_PKGS = ./internal/metrics ./internal/forkjoin ./internal/stm ./internal/cor
 # races, and the supervision fault domains (restart/escalation/dead
 # letters, plus the MPSC queue and rx scheduler close races). `make
 # stress` shakes them under the race detector repeatedly to catch rare
-# interleavings.
-STRESS_RUN = 'Close|Drain|Timeout|Race|Racing|Panic|Retry|Fault|Discard|Exchange|Executor|Fused|Nested|Quiesce|Flood|Steal|Registry|Scheduler|Queue|Mailbox|Ask|Restart|Resume|Escalation|DeadLetter|Breaker|Shed'
-STRESS_PKGS = ./internal/core ./internal/netstack ./internal/futures ./internal/rdd ./internal/forkjoin ./internal/actors ./internal/rx ./internal/mpsc ./internal/streams
+# interleavings; the rvm tier-up differential fuzz (tier-0 vs quickened
+# execution over the random bytecode corpus) rides along so the
+# interpreter tiers stay bit-identical under the race detector too.
+STRESS_RUN = 'Close|Drain|Timeout|Race|Racing|Panic|Retry|Fault|Discard|Exchange|Executor|Fused|Nested|Quiesce|Flood|Steal|Registry|Scheduler|Queue|Mailbox|Ask|Restart|Resume|Escalation|DeadLetter|Breaker|Shed|Tier|Quicken'
+STRESS_PKGS = ./internal/core ./internal/netstack ./internal/futures ./internal/rdd ./internal/forkjoin ./internal/actors ./internal/rx ./internal/mpsc ./internal/streams ./internal/rvm ./internal/rvm/opt
 
 .PHONY: check vet build test race stress chaos bench bench-all bench-ci bench-contention analyze
 
@@ -74,12 +76,14 @@ bench:
 	$(GO) test -run '^$$' -bench 'FusedVsMaterialized|LockedVsExchange' -benchmem -cpu 1,2,4,8 ./internal/rdd | tee BENCH_rdd.txt
 	$(GO) test -run '^$$' -bench 'FanOut' -benchmem -cpu 1,2,4,8 ./internal/forkjoin | tee BENCH_forkjoin.txt
 	$(GO) test -run '^$$' -bench 'ActorPingPong|ActorFanIn|ActorSpawnStorm|ActorAsk' -benchmem -cpu 1,2,4,8 ./internal/actors | tee BENCH_actors.txt
+	$(GO) test -run '^$$' -bench 'Dispatch|InlineCache|ArrayLoop' -benchmem -cpu 1 ./internal/rvm | tee BENCH_rvm.txt
 
 # One-iteration smoke pass over the engine benchmarks for CI: proves they
 # still compile and run without paying full measurement time.
 bench-ci:
 	$(GO) test -run '^$$' -bench 'FusedVsMaterialized|LockedVsExchange|FanOut' -benchtime 1x -benchmem ./internal/rdd ./internal/forkjoin
 	$(GO) test -run '^$$' -bench 'ActorPingPong|ActorFanIn|ActorSpawnStorm|ActorAsk' -benchtime 1x -benchmem ./internal/actors
+	$(GO) test -run '^$$' -bench 'Dispatch|InlineCache|ArrayLoop' -benchtime 1x -benchmem -cpu 1 ./internal/rvm
 
 # Every benchmark in the repo (paper figures included); slow.
 bench-all:

@@ -8,6 +8,7 @@
 //	renaissance run [-suite name] [-bench name] [-size f] [-warmup n] [-measured n]
 //	                [-timeout d] [-retries n] [-fault spec]
 //	                [-chaos.seed n] [-chaos.rate f] [-json]
+//	                [-rvm.tier auto|0|1] [-rvm.profile]
 //	renaissance metrics
 //
 // Runs degrade gracefully: a benchmark that fails, panics, or exceeds its
@@ -29,6 +30,7 @@ import (
 	"renaissance/internal/core"
 	"renaissance/internal/metrics"
 	"renaissance/internal/report"
+	"renaissance/internal/rvm"
 	"renaissance/internal/stats"
 
 	_ "renaissance/internal/bench/classic"
@@ -66,6 +68,7 @@ func usage() {
   renaissance run [-suite name] [-bench name] [-size f] [-warmup n] [-measured n]
                   [-timeout d] [-retries n] [-fault spec]
                   [-chaos.seed n] [-chaos.rate f] [-json]
+                  [-rvm.tier auto|0|1] [-rvm.profile]
   renaissance metrics`)
 }
 
@@ -157,8 +160,29 @@ func cmdRun(args []string) error {
 	var faults faultFlags
 	fs.Var(&faults, "fault", "inject a fault: kind[:benchmark[:iteration]], kind = delay=DUR | error[=msg] | panic[=msg] (repeatable)")
 	asJSON := fs.Bool("json", false, "emit JSON results")
+	rvmTier := fs.String("rvm.tier", "auto", "RVM execution tier: auto (profile and tier up), 0 (baseline interpreter), 1 (quicken everything)")
+	rvmProfile := fs.Bool("rvm.profile", false, "collect the RVM tier-up profile and dump per-opcode/per-call-site stats to stderr after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	switch *rvmTier {
+	case "auto":
+		rvm.DefaultTier = rvm.TierAuto
+	case "0":
+		rvm.DefaultTier = rvm.TierBaseline
+	case "1":
+		rvm.DefaultTier = rvm.TierQuick
+	default:
+		return fmt.Errorf("bad -rvm.tier %q (want auto, 0, or 1)", *rvmTier)
+	}
+	if *rvmProfile {
+		rvm.ResetProfile()
+		rvm.EnableProfiling()
+		defer func() {
+			rvm.DisableProfiling()
+			rvm.WriteProfile(os.Stderr, 10)
+		}()
 	}
 
 	r := core.NewRunner()

@@ -37,9 +37,24 @@ func newDotty(cfg core.Config) (core.Workload, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dotty: corpus unit %d: %w", i, err)
 		}
-		v, err := rvm.NewInterp(p).Run()
+		// Setup cross-checks the interpreter tiers on every unit: the
+		// baseline tier-0 checksum is the reference, and a run with
+		// quickening forced must agree before the measured iterations
+		// (which use the configured default tier) are trusted.
+		vm0 := rvm.NewInterp(p)
+		vm0.Tier = rvm.TierBaseline
+		v, err := vm0.Run()
 		if err != nil {
 			return nil, fmt.Errorf("dotty: corpus unit %d run: %w", i, err)
+		}
+		vm1 := rvm.NewInterp(p)
+		vm1.Tier = rvm.TierQuick
+		v1, err := vm1.Run()
+		if err != nil {
+			return nil, fmt.Errorf("dotty: corpus unit %d tier-1 run: %w", i, err)
+		}
+		if !v.Equal(v1) || vm0.Counters != vm1.Counters {
+			return nil, fmt.Errorf("dotty: corpus unit %d tier divergence: tier0=%v tier1=%v", i, v, v1)
 		}
 		w.want = append(w.want, v.AsInt())
 	}

@@ -1,0 +1,139 @@
+package minilang
+
+import (
+	"testing"
+
+	"renaissance/internal/rvm"
+)
+
+func TestArrayForLoop(t *testing.T) {
+	src := `
+func main() int {
+	var a = newarray(10);
+	for var i = 0; i < len(a); i = i + 1 {
+		a[i] = i * i;
+	}
+	var s = 0;
+	for var j = 0; j < len(a); j = j + 1 {
+		s = s + a[j];
+	}
+	return s;
+}`
+	if v := runMain(t, src); v.AsInt() != 285 {
+		t.Errorf("sum of squares = %v, want 285", v)
+	}
+}
+
+func TestIndexExprNesting(t *testing.T) {
+	src := `
+func main() int {
+	var a = newarray(5);
+	a[0] = 3;
+	a[3] = 42;
+	return a[a[0]];
+}`
+	if v := runMain(t, src); v.AsInt() != 42 {
+		t.Errorf("a[a[0]] = %v, want 42", v)
+	}
+}
+
+func TestArrayParamAndReturn(t *testing.T) {
+	src := `
+func fill(a array, k int) array {
+	for var i = 0; i < len(a); i = i + 1 { a[i] = i * k; }
+	return a;
+}
+func main() int {
+	var a = fill(newarray(6), 7);
+	return a[5];
+}`
+	if v := runMain(t, src); v.AsInt() != 35 {
+		t.Errorf("a[5] = %v, want 35", v)
+	}
+}
+
+func TestStreamPipeline(t *testing.T) {
+	src := `
+func double(x int) int { return x * 2; }
+func odd(x int) bool { return x % 2 == 1; }
+func add(a int, b int) int { return a + b; }
+func main() int {
+	var a = newarray(8);
+	for var i = 0; i < len(a); i = i + 1 { a[i] = i + 1; }
+	return sreduce(sfilter(smap(a, double), odd), 100, add);
+}`
+	// double(1..8) = 2,4,...,16 — all even, filter(odd) keeps none → 100.
+	if v := runMain(t, src); v.AsInt() != 100 {
+		t.Errorf("reduce = %v, want 100", v)
+	}
+
+	src2 := `
+func inc(x int) int { return x + 1; }
+func big(x int) bool { return x > 3; }
+func add(a int, b int) int { return a + b; }
+func main() int {
+	var a = newarray(6);
+	for var i = 0; i < len(a); i = i + 1 { a[i] = i; }
+	return sreduce(sfilter(smap(a, inc), big), 0, add);
+}`
+	// inc(0..5) = 1..6; keep >3 → 4+5+6 = 15.
+	if v := runMain(t, src2); v.AsInt() != 15 {
+		t.Errorf("reduce = %v, want 15", v)
+	}
+}
+
+func TestArrayTypeErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"index-non-array", `func main() int { var x = 3; return x[0]; }`},
+		{"bad-callback-sig", `
+func f(x float) float { return x; }
+func main() int { return sreduce(newarray(3), 0, f); }`},
+		{"callback-not-func", `func main() int { var g = 1; return len(smap(newarray(2), g)); }`},
+		{"reserved-name", `func len(x int) int { return x; } func main() int { return len(3); }`},
+		{"array-element-float", `func main() int { var a = newarray(2); a[0] = 1.5; return 0; }`},
+		{"non-int-index", `func main() int { var a = newarray(2); return a[true]; }`},
+	}
+	for _, tc := range cases {
+		if _, err := Compile(tc.src); err == nil {
+			t.Errorf("%s: compile succeeded, want type error", tc.name)
+		}
+	}
+}
+
+// TestCorpusTierDifferential runs every corpus unit on the baseline
+// tier-0 interpreter and with forced quickening; results and all dynamic
+// counters must agree (satellite of the tier-up change).
+func TestCorpusTierDifferential(t *testing.T) {
+	for i, src := range Corpus(48) {
+		p, err := Compile(src)
+		if err != nil {
+			t.Fatalf("unit %d: compile: %v", i, err)
+		}
+		vm0 := rvm.NewInterp(p)
+		vm0.Tier = rvm.TierBaseline
+		v0, e0 := vm0.Run()
+		vm1 := rvm.NewInterp(p)
+		vm1.Tier = rvm.TierQuick
+		v1, e1 := vm1.Run()
+		if (e0 == nil) != (e1 == nil) || (e0 != nil && e0.Error() != e1.Error()) {
+			t.Fatalf("unit %d: traps diverged: tier0=%v tier1=%v", i, e0, e1)
+		}
+		if e0 == nil && !v0.Equal(v1) {
+			t.Errorf("unit %d: results diverged: tier0=%v tier1=%v", i, v0, v1)
+		}
+		if vm0.Counters != vm1.Counters {
+			t.Errorf("unit %d: counters diverged:\n tier0: %+v\n tier1: %+v", i, vm0.Counters, vm1.Counters)
+		}
+		// TierAuto (the default) must agree with both.
+		vmA := rvm.NewInterp(p)
+		vA, eA := vmA.Run()
+		if (e0 == nil) != (eA == nil) {
+			t.Fatalf("unit %d: auto trap diverged: %v vs %v", i, e0, eA)
+		}
+		if e0 == nil && !v0.Equal(vA) {
+			t.Errorf("unit %d: auto result diverged: %v vs %v", i, v0, vA)
+		}
+	}
+}

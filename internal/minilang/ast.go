@@ -11,6 +11,8 @@ const (
 	TypeFloat
 	TypeBool
 	TypeVoid
+	TypeArray // array of int
+	TypeFunc  // reference to a declared function (stream callbacks only)
 )
 
 func (t Type) String() string {
@@ -23,6 +25,10 @@ func (t Type) String() string {
 		return "bool"
 	case TypeVoid:
 		return "void"
+	case TypeArray:
+		return "array"
+	case TypeFunc:
+		return "func"
 	default:
 		return "invalid"
 	}
@@ -83,6 +89,26 @@ type While struct {
 	Body *Block
 }
 
+// For is a three-part counted loop: `for init; cond; post { body }`.
+// The code generator lowers it into the RVM's canonical counted-loop
+// shape so the tier-1 quickener can hoist null and bounds checks for
+// loops that iterate an array by `len`.
+type For struct {
+	Init Stmt    // *VarDecl or *Assign
+	Cond Expr
+	Post *Assign
+	Body *Block
+	Line int
+}
+
+// IndexAssign stores into an array element: `a[i] = v;`.
+type IndexAssign struct {
+	Name  string
+	Index Expr
+	Value Expr
+	Line  int
+}
+
 // Return exits the function.
 type Return struct {
 	Value Expr // nil for void
@@ -94,13 +120,15 @@ type ExprStmt struct {
 	E Expr
 }
 
-func (*Block) stmt()    {}
-func (*VarDecl) stmt()  {}
-func (*Assign) stmt()   {}
-func (*If) stmt()       {}
-func (*While) stmt()    {}
-func (*Return) stmt()   {}
-func (*ExprStmt) stmt() {}
+func (*Block) stmt()       {}
+func (*VarDecl) stmt()     {}
+func (*Assign) stmt()      {}
+func (*If) stmt()          {}
+func (*While) stmt()       {}
+func (*For) stmt()         {}
+func (*IndexAssign) stmt() {}
+func (*Return) stmt()      {}
+func (*ExprStmt) stmt()    {}
 
 // Expr is an expression node. Typechecking records each node's type.
 type Expr interface {
@@ -154,7 +182,8 @@ type Unary struct {
 	Line int
 }
 
-// Call invokes a declared function.
+// Call invokes a declared function or a builtin (newarray, len, smap,
+// sfilter, sreduce).
 type Call struct {
 	typed
 	Name string
@@ -162,10 +191,29 @@ type Call struct {
 	Line int
 }
 
-func (*IntLit) expr()   {}
-func (*FloatLit) expr() {}
-func (*BoolLit) expr()  {}
-func (*VarRef) expr()   {}
-func (*Binary) expr()   {}
-func (*Unary) expr()    {}
-func (*Call) expr()     {}
+// IndexExpr reads an array element: `a[i]`.
+type IndexExpr struct {
+	typed
+	Arr   Expr
+	Index Expr
+	Line  int
+}
+
+// FuncRef names a declared function used as a stream callback; the
+// checker rewrites the VarRef argument of smap/sfilter/sreduce into this
+// node after validating the callee's signature.
+type FuncRef struct {
+	typed
+	Name string
+	Line int
+}
+
+func (*IntLit) expr()    {}
+func (*FloatLit) expr()  {}
+func (*BoolLit) expr()   {}
+func (*VarRef) expr()    {}
+func (*Binary) expr()    {}
+func (*Unary) expr()     {}
+func (*Call) expr()      {}
+func (*IndexExpr) expr() {}
+func (*FuncRef) expr()   {}

@@ -22,12 +22,21 @@ type funcSig struct {
 	ret    Type
 }
 
+// Builtin function names; user functions cannot shadow them.
+var builtins = map[string]bool{
+	"newarray": true, "len": true,
+	"smap": true, "sfilter": true, "sreduce": true,
+}
+
 // Check typechecks the program in place, annotating expression types.
 func Check(prog *ProgramAST) error {
 	sigs := map[string]funcSig{}
 	for _, fn := range prog.Funcs {
 		if _, dup := sigs[fn.Name]; dup {
 			return typeErr(fn.Line, "function %q redeclared", fn.Name)
+		}
+		if builtins[fn.Name] {
+			return typeErr(fn.Line, "function name %q is reserved", fn.Name)
 		}
 		sig := funcSig{ret: fn.Ret}
 		for _, p := range fn.Params {
@@ -73,8 +82,8 @@ func (c *checker) stmt(s Stmt) error {
 		if err != nil {
 			return err
 		}
-		if t == TypeVoid {
-			return typeErr(s.Line, "cannot initialize %q with a void expression", s.Name)
+		if t == TypeVoid || t == TypeFunc {
+			return typeErr(s.Line, "cannot initialize %q with a %s expression", s.Name, t)
 		}
 		if _, dup := c.vars[s.Name]; dup {
 			return typeErr(s.Line, "variable %q redeclared", s.Name)
@@ -118,6 +127,44 @@ func (c *checker) stmt(s Stmt) error {
 			return typeErr(0, "while condition must be bool, got %s", t)
 		}
 		return c.block(s.Body)
+	case *For:
+		if err := c.stmt(s.Init); err != nil {
+			return err
+		}
+		t, err := c.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if t != TypeBool {
+			return typeErr(s.Line, "for condition must be bool, got %s", t)
+		}
+		if err := c.block(s.Body); err != nil {
+			return err
+		}
+		return c.stmt(s.Post)
+	case *IndexAssign:
+		vt, ok := c.vars[s.Name]
+		if !ok {
+			return typeErr(s.Line, "undefined variable %q", s.Name)
+		}
+		if vt != TypeArray {
+			return typeErr(s.Line, "cannot index %s variable %q", vt, s.Name)
+		}
+		it, err := c.expr(s.Index)
+		if err != nil {
+			return err
+		}
+		if it != TypeInt {
+			return typeErr(s.Line, "array index must be int, got %s", it)
+		}
+		et, err := c.expr(s.Value)
+		if err != nil {
+			return err
+		}
+		if et != TypeInt {
+			return typeErr(s.Line, "array element must be int, got %s", et)
+		}
+		return nil
 	case *Return:
 		if s.Value == nil {
 			if c.fn.Ret != TypeVoid {
@@ -210,7 +257,28 @@ func (c *checker) expr(e Expr) (Type, error) {
 		default:
 			return TypeInvalid, typeErr(e.Line, "unknown operator %q", e.Op)
 		}
+	case *IndexExpr:
+		at, err := c.expr(e.Arr)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		if at != TypeArray {
+			return TypeInvalid, typeErr(e.Line, "cannot index %s", at)
+		}
+		it, err := c.expr(e.Index)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		if it != TypeInt {
+			return TypeInvalid, typeErr(e.Line, "array index must be int, got %s", it)
+		}
+		e.T = TypeInt
+	case *FuncRef:
+		e.T = TypeFunc
 	case *Call:
+		if builtins[e.Name] {
+			return c.builtinCall(e)
+		}
 		sig, ok := c.sigs[e.Name]
 		if !ok {
 			return TypeInvalid, typeErr(e.Line, "undefined function %q", e.Name)
@@ -234,4 +302,101 @@ func (c *checker) expr(e Expr) (Type, error) {
 		return TypeInvalid, typeErr(0, "unknown expression %T", e)
 	}
 	return e.TypeOf(), nil
+}
+
+// builtinCall checks newarray/len/smap/sfilter/sreduce. The stream
+// builtins take a declared function by name as their callback; the VarRef
+// argument is validated against the required callback signature and
+// rewritten into a FuncRef so the code generator emits a method-handle
+// push instead of a variable load.
+func (c *checker) builtinCall(e *Call) (Type, error) {
+	argTypes := func(want ...Type) error {
+		if len(e.Args) != len(want) {
+			return typeErr(e.Line, "%q expects %d arguments, got %d", e.Name, len(want), len(e.Args))
+		}
+		for i, a := range e.Args {
+			if want[i] == TypeFunc {
+				if err := c.funcArg(e, i); err != nil {
+					return err
+				}
+				continue
+			}
+			at, err := c.expr(a)
+			if err != nil {
+				return err
+			}
+			if at != want[i] {
+				return typeErr(e.Line, "argument %d of %q: expected %s, got %s", i+1, e.Name, want[i], at)
+			}
+		}
+		return nil
+	}
+	switch e.Name {
+	case "newarray":
+		if err := argTypes(TypeInt); err != nil {
+			return TypeInvalid, err
+		}
+		e.T = TypeArray
+	case "len":
+		if err := argTypes(TypeArray); err != nil {
+			return TypeInvalid, err
+		}
+		e.T = TypeInt
+	case "smap", "sfilter":
+		if err := argTypes(TypeArray, TypeFunc); err != nil {
+			return TypeInvalid, err
+		}
+		e.T = TypeArray
+	case "sreduce":
+		if err := argTypes(TypeArray, TypeInt, TypeFunc); err != nil {
+			return TypeInvalid, err
+		}
+		e.T = TypeInt
+	}
+	return e.T, nil
+}
+
+// funcArg validates e.Args[i] as a stream-callback reference and rewrites
+// it to a FuncRef.
+func (c *checker) funcArg(e *Call, i int) error {
+	ref, ok := e.Args[i].(*VarRef)
+	if !ok {
+		return typeErr(e.Line, "argument %d of %q must name a function", i+1, e.Name)
+	}
+	sig, ok := c.sigs[ref.Name]
+	if !ok {
+		return typeErr(ref.Line, "undefined function %q", ref.Name)
+	}
+	var want funcSig
+	switch e.Name {
+	case "smap":
+		want = funcSig{params: []Type{TypeInt}, ret: TypeInt}
+	case "sfilter":
+		want = funcSig{params: []Type{TypeInt}, ret: TypeBool}
+	case "sreduce":
+		want = funcSig{params: []Type{TypeInt, TypeInt}, ret: TypeInt}
+	}
+	if len(sig.params) != len(want.params) || sig.ret != want.ret {
+		return typeErr(ref.Line, "%q callback %q must have signature %s", e.Name, ref.Name, sigString(want))
+	}
+	for i, p := range sig.params {
+		if p != want.params[i] {
+			return typeErr(ref.Line, "%q callback %q must have signature %s", e.Name, ref.Name, sigString(want))
+		}
+	}
+	fr := &FuncRef{Name: ref.Name, Line: ref.Line}
+	fr.T = TypeFunc
+	e.Args[i] = fr
+	return nil
+}
+
+func sigString(s funcSig) string {
+	out := "("
+	for i, p := range s.params {
+		if i > 0 {
+			out += ", "
+		}
+		out += p.String()
+	}
+	return out + ") " + s.ret.String()
 }

@@ -26,15 +26,24 @@ func Compile(src string) (*rvm.Program, error) {
 func Generate(prog *ProgramAST) (*rvm.Program, error) {
 	p := rvm.NewProgram()
 	class := rvm.NewClass(ClassName, nil)
+	streams := false
 	for _, fn := range prog.Funcs {
-		m, err := genFunc(fn)
+		g := &codegen{asm: rvm.NewAsm(), slots: map[string]int{}}
+		m, err := g.genFunc(fn)
 		if err != nil {
 			return nil, err
 		}
 		m.Static = true
 		class.AddMethod(m)
+		streams = streams || g.streams
 		if fn.Name == "main" {
 			p.Entry = m
+		}
+	}
+	if streams {
+		for _, m := range streamLib() {
+			m.Static = true
+			class.AddMethod(m)
 		}
 	}
 	if err := p.AddClass(class); err != nil {
@@ -48,6 +57,7 @@ type codegen struct {
 	slots    map[string]int
 	nextSlot int
 	labels   int
+	streams  bool // unit uses smap/sfilter/sreduce
 }
 
 func (g *codegen) slot(name string) int {
@@ -65,8 +75,7 @@ func (g *codegen) fresh(prefix string) string {
 	return fmt.Sprintf("%s_%d", prefix, g.labels)
 }
 
-func genFunc(fn *FuncDecl) (*rvm.Method, error) {
-	g := &codegen{asm: rvm.NewAsm(), slots: map[string]int{}}
+func (g *codegen) genFunc(fn *FuncDecl) (*rvm.Method, error) {
 	for _, p := range fn.Params {
 		g.slot(p.Name)
 	}
@@ -143,6 +152,41 @@ func (g *codegen) stmt(s Stmt) error {
 		}
 		g.asm.Jump(rvm.OpJump, headL)
 		g.asm.Label(endL)
+	case *For:
+		// Lower to the canonical counted-loop shape: the init lands
+		// directly before the header, the post-increment directly before
+		// the backedge, so a `for i = <const>; i < len(a); i = i + <k>`
+		// loop matches the tier-1 bounds-check-elimination region.
+		if err := g.stmt(s.Init); err != nil {
+			return err
+		}
+		headL := g.fresh("for")
+		endL := g.fresh("endfor")
+		g.asm.Label(headL)
+		if err := g.expr(s.Cond); err != nil {
+			return err
+		}
+		g.asm.Jump(rvm.OpJumpIfNot, endL)
+		if err := g.block(s.Body); err != nil {
+			return err
+		}
+		if err := g.stmt(s.Post); err != nil {
+			return err
+		}
+		g.asm.Jump(rvm.OpJump, headL)
+		g.asm.Label(endL)
+		if idx, arr, ok := canonicalFor(s); ok {
+			g.asm.MarkLoop(headL, endL, g.slot(idx), g.slot(arr), true)
+		}
+	case *IndexAssign:
+		g.asm.Load(g.slot(s.Name))
+		if err := g.expr(s.Index); err != nil {
+			return err
+		}
+		if err := g.expr(s.Value); err != nil {
+			return err
+		}
+		g.asm.Op(rvm.OpAStore)
 	case *Return:
 		if s.Value == nil {
 			g.asm.Op(rvm.OpReturnVoid)
@@ -241,14 +285,181 @@ func (g *codegen) expr(e Expr) error {
 			g.asm.Op(op)
 		}
 	case *Call:
+		if done, err := g.builtinCall(e); done || err != nil {
+			return err
+		}
 		for _, a := range e.Args {
 			if err := g.expr(a); err != nil {
 				return err
 			}
 		}
 		g.asm.Invoke(rvm.OpInvokeStatic, ClassName+"."+e.Name, len(e.Args))
+	case *IndexExpr:
+		if err := g.expr(e.Arr); err != nil {
+			return err
+		}
+		if err := g.expr(e.Index); err != nil {
+			return err
+		}
+		g.asm.Op(rvm.OpALoad)
+	case *FuncRef:
+		// Push a method handle for the named function (JSR 292 bootstrap).
+		g.asm.Sym(rvm.OpInvokeDynamic, ClassName+"."+e.Name)
 	default:
 		return fmt.Errorf("minilang: unknown expression %T", e)
 	}
 	return nil
+}
+
+// builtinCall emits newarray/len inline and lowers the stream builtins to
+// calls into the synthesized $smap/$sfilter/$sreduce library methods.
+func (g *codegen) builtinCall(e *Call) (bool, error) {
+	switch e.Name {
+	case "newarray":
+		if err := g.expr(e.Args[0]); err != nil {
+			return true, err
+		}
+		g.asm.Op(rvm.OpNewArray)
+	case "len":
+		if err := g.expr(e.Args[0]); err != nil {
+			return true, err
+		}
+		g.asm.Op(rvm.OpArrayLen)
+	case "smap", "sfilter", "sreduce":
+		g.streams = true
+		for _, a := range e.Args {
+			if err := g.expr(a); err != nil {
+				return true, err
+			}
+		}
+		g.asm.Invoke(rvm.OpInvokeStatic, ClassName+".$"+e.Name, len(e.Args))
+	default:
+		return false, nil
+	}
+	return true, nil
+}
+
+// canonicalFor reports whether the loop is `for i = <const >= 0>; i < len(a);
+// i = i + <const > 0>`, returning the induction and array variable names so
+// the generator can attach LoopInfo metadata for the quickener.
+func canonicalFor(s *For) (idx, arr string, ok bool) {
+	var name string
+	switch init := s.Init.(type) {
+	case *VarDecl:
+		lit, isLit := init.Init.(*IntLit)
+		if !isLit || lit.Value < 0 {
+			return "", "", false
+		}
+		name = init.Name
+	case *Assign:
+		lit, isLit := init.Value.(*IntLit)
+		if !isLit || lit.Value < 0 {
+			return "", "", false
+		}
+		name = init.Name
+	default:
+		return "", "", false
+	}
+	cond, isBin := s.Cond.(*Binary)
+	if !isBin || cond.Op != "<" {
+		return "", "", false
+	}
+	lv, isVar := cond.Left.(*VarRef)
+	if !isVar || lv.Name != name {
+		return "", "", false
+	}
+	lenCall, isCall := cond.Right.(*Call)
+	if !isCall || lenCall.Name != "len" || len(lenCall.Args) != 1 {
+		return "", "", false
+	}
+	av, isArrVar := lenCall.Args[0].(*VarRef)
+	if !isArrVar {
+		return "", "", false
+	}
+	if s.Post.Name != name {
+		return "", "", false
+	}
+	inc, isInc := s.Post.Value.(*Binary)
+	if !isInc || inc.Op != "+" {
+		return "", "", false
+	}
+	pv, okVar := inc.Left.(*VarRef)
+	step, okLit := inc.Right.(*IntLit)
+	if !okVar || pv.Name != name || !okLit || step.Value <= 0 {
+		return "", "", false
+	}
+	return name, av.Name, true
+}
+
+// streamLib synthesizes the stream-pipeline library: each method is the
+// canonical counted array loop (with LoopInfo metadata) applying a method
+// handle per element, so both the tier-1 quickener and the rvm/opt
+// stream-fusion pass can recognize and optimize the shape.
+func streamLib() []*rvm.Method {
+	// $smap(arr, h): out[i] = h(arr[i])
+	sm := rvm.NewAsm()
+	sm.Load(0).Op(rvm.OpArrayLen).Op(rvm.OpNewArray).Store(2)
+	sm.ConstInt(0).Store(3)
+	sm.Label("head")
+	sm.Load(3).Load(0).Op(rvm.OpArrayLen).Op(rvm.OpCmpLT).Jump(rvm.OpJumpIfNot, "exit")
+	sm.Load(2).Load(3)
+	sm.Load(1).Load(0).Load(3).Op(rvm.OpALoad)
+	sm.Invoke(rvm.OpInvokeHandle, "", 1)
+	sm.Op(rvm.OpAStore)
+	sm.Load(3).ConstInt(1).Op(rvm.OpAdd).Store(3)
+	sm.Jump(rvm.OpJump, "head")
+	sm.Label("exit")
+	sm.Load(2).Op(rvm.OpReturn)
+	sm.MarkLoop("head", "exit", 3, 0, true)
+
+	// $sfilter(arr, h): two passes — count matches, then fill exact-size out.
+	sf := rvm.NewAsm()
+	sf.ConstInt(0).Store(2) // cnt
+	sf.ConstInt(0).Store(3) // i
+	sf.Label("head1")
+	sf.Load(3).Load(0).Op(rvm.OpArrayLen).Op(rvm.OpCmpLT).Jump(rvm.OpJumpIfNot, "mid")
+	sf.Load(1).Load(0).Load(3).Op(rvm.OpALoad).Invoke(rvm.OpInvokeHandle, "", 1)
+	sf.Jump(rvm.OpJumpIfNot, "skip1")
+	sf.Load(2).ConstInt(1).Op(rvm.OpAdd).Store(2)
+	sf.Label("skip1")
+	sf.Load(3).ConstInt(1).Op(rvm.OpAdd).Store(3)
+	sf.Jump(rvm.OpJump, "head1")
+	sf.Label("mid")
+	sf.Load(2).Op(rvm.OpNewArray).Store(4) // out
+	sf.ConstInt(0).Store(5)                // j
+	sf.ConstInt(0).Store(3)
+	sf.Label("head2")
+	sf.Load(3).Load(0).Op(rvm.OpArrayLen).Op(rvm.OpCmpLT).Jump(rvm.OpJumpIfNot, "exit")
+	sf.Load(0).Load(3).Op(rvm.OpALoad).Store(6) // tmp
+	sf.Load(1).Load(6).Invoke(rvm.OpInvokeHandle, "", 1)
+	sf.Jump(rvm.OpJumpIfNot, "skip2")
+	sf.Load(4).Load(5).Load(6).Op(rvm.OpAStore)
+	sf.Load(5).ConstInt(1).Op(rvm.OpAdd).Store(5)
+	sf.Label("skip2")
+	sf.Load(3).ConstInt(1).Op(rvm.OpAdd).Store(3)
+	sf.Jump(rvm.OpJump, "head2")
+	sf.Label("exit")
+	sf.Load(4).Op(rvm.OpReturn)
+	sf.MarkLoop("head1", "mid", 3, 0, true)
+	sf.MarkLoop("head2", "exit", 3, 0, true)
+
+	// $sreduce(arr, acc, h): acc = h(acc, arr[i])
+	sr := rvm.NewAsm()
+	sr.ConstInt(0).Store(3)
+	sr.Label("head")
+	sr.Load(3).Load(0).Op(rvm.OpArrayLen).Op(rvm.OpCmpLT).Jump(rvm.OpJumpIfNot, "exit")
+	sr.Load(2).Load(1).Load(0).Load(3).Op(rvm.OpALoad)
+	sr.Invoke(rvm.OpInvokeHandle, "", 2)
+	sr.Store(1)
+	sr.Load(3).ConstInt(1).Op(rvm.OpAdd).Store(3)
+	sr.Jump(rvm.OpJump, "head")
+	sr.Label("exit")
+	sr.Load(1).Op(rvm.OpReturn)
+	sr.MarkLoop("head", "exit", 3, 0, true)
+
+	return []*rvm.Method{
+		sm.MustBuild("$smap", 2),
+		sf.MustBuild("$sfilter", 2),
+		sr.MustBuild("$sreduce", 3),
+	}
 }

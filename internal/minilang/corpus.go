@@ -20,7 +20,13 @@ func Corpus(n int) []string {
 
 // generateUnit builds one source file parameterized by its index: a few
 // helper functions (arithmetic, recursion, conditionals), a numeric loop,
-// and a main tying them together.
+// and a main tying them together. Every unit runs a canonical counted
+// array loop — sequential array access dominates real JVM programs and is
+// the representative hot path — and every third unit adds a second array
+// pass (seed%3 == 1) or a stream map/filter/reduce pipeline (seed%3 == 2),
+// so compiled units spend their time in the loops the tier-1 quickener
+// and the bounds-check-elimination / stream-fusion passes target, not in
+// call scaffolding.
 func generateUnit(seed int) string {
 	var b strings.Builder
 	k := seed%7 + 2
@@ -42,10 +48,43 @@ func generateUnit(seed int) string {
 	fmt.Fprintf(&b, "\t\tacc = (acc + helper%d(i) * %d) %% 1000003;\n", seed, k)
 	b.WriteString("\t\ti = i + 1;\n\t}\n\treturn acc;\n}\n")
 
+	fmt.Fprintf(&b, "func sweep%d(n int) int {\n", seed)
+	b.WriteString("\tvar a = newarray(n);\n")
+	fmt.Fprintf(&b, "\tfor var i = 0; i < len(a); i = i + 1 { a[i] = i * %d + %d; }\n", k, seed%11)
+	b.WriteString("\tvar s = 0;\n")
+	b.WriteString("\tfor var j = 0; j < len(a); j = j + 1 { s = (s + a[j]) % 1000003; }\n")
+	b.WriteString("\treturn s;\n}\n")
+
+	switch seed % 3 {
+	case 1:
+		fmt.Fprintf(&b, "func arr%d(n int) int {\n", seed)
+		b.WriteString("\tvar a = newarray(n);\n")
+		fmt.Fprintf(&b, "\tfor var i = 0; i < len(a); i = i + 1 { a[i] = i * i + %d; }\n", k)
+		b.WriteString("\tvar s = 0;\n")
+		b.WriteString("\tfor var j = 0; j < len(a); j = j + 1 { s = (s + a[j] * a[j]) % 1000003; }\n")
+		b.WriteString("\treturn s;\n}\n")
+	case 2:
+		fmt.Fprintf(&b, "func mapf%d(x int) int { return x * %d + 1; }\n", seed, k)
+		fmt.Fprintf(&b, "func keep%d(x int) bool { return x %% %d != 0; }\n", seed, 2+seed%3)
+		fmt.Fprintf(&b, "func addf%d(a int, b int) int { return (a + b) %% 1000003; }\n", seed)
+		fmt.Fprintf(&b, "func stream%d(n int) int {\n", seed)
+		b.WriteString("\tvar a = newarray(n);\n")
+		b.WriteString("\tfor var i = 0; i < len(a); i = i + 1 { a[i] = i; }\n")
+		fmt.Fprintf(&b, "\treturn sreduce(sfilter(smap(a, mapf%d), keep%d), 0, addf%d);\n", seed, seed, seed)
+		b.WriteString("}\n")
+	}
+
 	b.WriteString("func main() int {\n")
-	fmt.Fprintf(&b, "\tvar a = loop%d(%d);\n", seed, 50+10*(seed%5))
+	fmt.Fprintf(&b, "\tvar a = loop%d(%d);\n", seed, 200+40*(seed%5))
 	fmt.Fprintf(&b, "\tvar bv = fact%d(%d);\n", seed, 5+seed%4)
 	fmt.Fprintf(&b, "\tvar c = a %% 97 + bv %% 89;\n")
+	fmt.Fprintf(&b, "\tc = c + sweep%d(%d) %% 101;\n", seed, 4000+400*(seed%9))
+	switch seed % 3 {
+	case 1:
+		fmt.Fprintf(&b, "\tc = c + arr%d(%d) %% 83;\n", seed, 3000+300*(seed%9))
+	case 2:
+		fmt.Fprintf(&b, "\tc = c + stream%d(%d) %% 79;\n", seed, 300+30*(seed%8))
+	}
 	b.WriteString("\tif c > 100 && c % 2 == 0 { c = c - 1; }\n")
 	b.WriteString("\treturn c;\n}\n")
 	return b.String()

@@ -35,8 +35,8 @@ type Token struct {
 
 var keywords = map[string]bool{
 	"func": true, "var": true, "if": true, "else": true,
-	"while": true, "return": true, "true": true, "false": true,
-	"int": true, "float": true, "bool": true,
+	"while": true, "for": true, "return": true, "true": true, "false": true,
+	"int": true, "float": true, "bool": true, "array": true,
 }
 
 // SyntaxError is a lexing or parsing error with position information.
@@ -122,7 +122,7 @@ func Lex(src string) ([]Token, error) {
 				continue
 			}
 			switch c {
-			case '+', '-', '*', '/', '%', '<', '>', '=', '!', '(', ')', '{', '}', ',', ';':
+			case '+', '-', '*', '/', '%', '<', '>', '=', '!', '(', ')', '{', '}', '[', ']', ',', ';':
 				toks = append(toks, Token{TokOp, string(c), l0, c0})
 				advance(1)
 			default:

@@ -63,6 +63,8 @@ func (p *parser) typeName() (Type, error) {
 		return TypeFloat, nil
 	case p.accept(TokKeyword, "bool"):
 		return TypeBool, nil
+	case p.accept(TokKeyword, "array"):
+		return TypeArray, nil
 	}
 	return TypeInvalid, errAt(t.Line, t.Col, "expected type, found %q", t.Text)
 }
@@ -99,7 +101,7 @@ func (p *parser) funcDecl() (*FuncDecl, error) {
 	if _, err := p.expect(TokOp, ")"); err != nil {
 		return nil, err
 	}
-	if p.at(TokKeyword, "int") || p.at(TokKeyword, "float") || p.at(TokKeyword, "bool") {
+	if p.at(TokKeyword, "int") || p.at(TokKeyword, "float") || p.at(TokKeyword, "bool") || p.at(TokKeyword, "array") {
 		fn.Ret, _ = p.typeName()
 	}
 	body, err := p.block()
@@ -179,6 +181,35 @@ func (p *parser) stmt() (Stmt, error) {
 		}
 		return &While{Cond: cond, Body: body}, nil
 
+	case p.accept(TokKeyword, "for"):
+		init, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ";"); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ";"); err != nil {
+			return nil, err
+		}
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		postAssign, ok := post.(*Assign)
+		if !ok {
+			return nil, errAt(t.Line, t.Col, "for post-statement must be an assignment")
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &For{Init: init, Cond: cond, Post: postAssign, Body: body, Line: t.Line}, nil
+
 	case p.accept(TokKeyword, "return"):
 		r := &Return{Line: t.Line}
 		if !p.at(TokOp, ";") {
@@ -205,6 +236,39 @@ func (p *parser) stmt() (Stmt, error) {
 		}
 		return &Assign{Name: name.Text, Value: v, Line: name.Line}, nil
 
+	case t.Kind == TokIdent && p.toks[p.pos+1].Kind == TokOp && p.toks[p.pos+1].Text == "[":
+		// Could be `a[i] = v;` or an expression statement starting with an
+		// index read; try the assignment shape first.
+		save := p.pos
+		name := p.next()
+		p.pos++ // [
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, "]"); err != nil {
+			return nil, err
+		}
+		if !p.accept(TokOp, "=") {
+			p.pos = save // expression statement: reparse from the start
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokOp, ";"); err != nil {
+				return nil, err
+			}
+			return &ExprStmt{E: e}, nil
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ";"); err != nil {
+			return nil, err
+		}
+		return &IndexAssign{Name: name.Text, Index: idx, Value: v, Line: name.Line}, nil
+
 	default:
 		e, err := p.expr()
 		if err != nil {
@@ -215,6 +279,38 @@ func (p *parser) stmt() (Stmt, error) {
 		}
 		return &ExprStmt{E: e}, nil
 	}
+}
+
+// simpleStmt parses the semicolon-free statements allowed in for-loop
+// init and post positions: `var x = e` or `x = e`.
+func (p *parser) simpleStmt() (Stmt, error) {
+	t := p.cur()
+	if p.accept(TokKeyword, "var") {
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, "="); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &VarDecl{Name: name.Text, Init: init, Line: name.Line}, nil
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, errAt(t.Line, t.Col, "expected assignment, found %q", t.Text)
+	}
+	if _, err := p.expect(TokOp, "="); err != nil {
+		return nil, err
+	}
+	v, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &Assign{Name: name.Text, Value: v, Line: name.Line}, nil
 }
 
 // Operator precedence climbing.
@@ -295,6 +391,7 @@ func (p *parser) primary() (Expr, error) {
 		return e, nil
 	case t.Kind == TokIdent:
 		p.pos++
+		var e Expr
 		if p.accept(TokOp, "(") {
 			call := &Call{Name: t.Text, Line: t.Line}
 			for !p.at(TokOp, ")") {
@@ -310,9 +407,21 @@ func (p *parser) primary() (Expr, error) {
 				call.Args = append(call.Args, a)
 			}
 			p.pos++ // )
-			return call, nil
+			e = call
+		} else {
+			e = &VarRef{Name: t.Text, Line: t.Line}
 		}
-		return &VarRef{Name: t.Text, Line: t.Line}, nil
+		for p.accept(TokOp, "[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokOp, "]"); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{Arr: e, Index: idx, Line: t.Line}
+		}
+		return e, nil
 	default:
 		return nil, errAt(t.Line, t.Col, "unexpected token %q", t.Text)
 	}

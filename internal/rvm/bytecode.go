@@ -132,6 +132,13 @@ type Asm struct {
 	labels  map[string]int
 	fixups  map[int]string // instruction index -> label
 	nlocals int
+	loops   []asmLoop
+}
+
+type asmLoop struct {
+	head, end        string
+	idxSlot, arrSlot int
+	initNonNeg       bool
 }
 
 // NewAsm creates an empty assembler.
@@ -188,6 +195,15 @@ func (a *Asm) Jump(op Opcode, label string) *Asm {
 	return a
 }
 
+// MarkLoop records loop-shape metadata for a canonical counted array loop
+// between two labels (resolved in Build). initNonNeg asserts the code
+// preceding headLabel initializes idxSlot with a non-negative constant;
+// the tier-1 quickener verifies every other region condition itself.
+func (a *Asm) MarkLoop(headLabel, endLabel string, idxSlot, arrSlot int, initNonNeg bool) *Asm {
+	a.loops = append(a.loops, asmLoop{headLabel, endLabel, idxSlot, arrSlot, initNonNeg})
+	return a
+}
+
 // Build resolves labels and returns a method with the given name and
 // argument count.
 func (a *Asm) Build(name string, nargs int) (*Method, error) {
@@ -203,7 +219,26 @@ func (a *Asm) Build(name string, nargs int) (*Method, error) {
 	if nargs > nlocals {
 		nlocals = nargs
 	}
-	return &Method{Name: name, NArgs: nargs, NLocals: nlocals, Code: code}, nil
+	m := &Method{Name: name, NArgs: nargs, NLocals: nlocals, Code: code}
+	for _, l := range a.loops {
+		head, ok := a.labels[l.head]
+		if !ok {
+			return nil, fmt.Errorf("rvm: undefined loop label %q in %s", l.head, name)
+		}
+		end, ok := a.labels[l.end]
+		if !ok {
+			return nil, fmt.Errorf("rvm: undefined loop label %q in %s", l.end, name)
+		}
+		m.Loops = append(m.Loops, LoopInfo{
+			Head: head, End: end,
+			IdxSlot: l.idxSlot, ArrSlot: l.arrSlot,
+			InitNonNeg: l.initNonNeg,
+		})
+	}
+	if ms, _, err := verifyMethod(m); err == nil {
+		m.MaxStack = ms
+	}
+	return m, nil
 }
 
 // MustBuild is Build that panics on label errors (builder bugs).

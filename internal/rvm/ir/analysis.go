@@ -79,6 +79,43 @@ type Loop struct {
 // Contains reports whether the block is in the loop body.
 func (l *Loop) Contains(b *Block) bool { return l.Blocks[b] }
 
+// Preheader returns the loop's unique out-of-loop predecessor when it ends
+// in an unconditional jump to the header, or nil. Passes that hoist code
+// out of a loop (guard motion) or reason about the induction variable's
+// initial value (bounds-check elimination) need this block: code placed in
+// it runs exactly once per loop entry, and its final register state is the
+// state the header observes on the first iteration.
+func (l *Loop) Preheader(f *Func) *Block {
+	f.RecomputePreds()
+	var pre *Block
+	for _, p := range l.Header.Preds {
+		if l.Blocks[p] {
+			continue
+		}
+		if pre != nil {
+			return nil
+		}
+		pre = p
+	}
+	if pre == nil || pre.Term.Kind != TermJump || pre.Term.To != l.Header {
+		return nil
+	}
+	return pre
+}
+
+// OnlyLoopSuccessor reports whether every in-loop successor of b is the
+// loop header. A definition in such a block cannot reach any other in-loop
+// block without control first re-entering the header — the property
+// bounds-check elimination needs of the induction variable's increment.
+func (l *Loop) OnlyLoopSuccessor(b *Block) bool {
+	for _, s := range b.Term.Succs() {
+		if l.Blocks[s] && s != l.Header {
+			return false
+		}
+	}
+	return true
+}
+
 // FindLoops detects natural loops from back edges (edges to a dominator).
 // Loops sharing a header are merged.
 func FindLoops(f *Func) []*Loop {

@@ -1,0 +1,195 @@
+package opt
+
+import (
+	"renaissance/internal/rvm/ir"
+)
+
+// BoundsCheckElim deletes provably-redundant guards inside canonical
+// array loops — the tier-up companion pass to speculative guard motion.
+// GM (§5.5) hoists guards whose bound is loop-invariant; the canonical
+// minilang shape `for i := 0; i < len(a); i++ { ... a[i] ... }` is outside
+// its reach because the limit is recomputed from ArrayLen in the header.
+// This pass recognizes that shape directly and removes, rather than
+// hoists, the per-iteration checks:
+//
+//   - GuardBounds(a, i) in the loop body is redundant when the header
+//     tests i < ArrayLen(a) before every body execution, a is invariant
+//     (arrays never resize), i's only in-loop definition is a positive
+//     increment in a latch whose in-loop successor is the header alone,
+//     and i enters the loop from a non-negative constant — together these
+//     give 0 <= i < len(a) at every body point before the increment.
+//   - GuardNull(a) in the loop body is redundant because the header's own
+//     null check (guard or ArrayLen) on the invariant a traps first.
+//
+// Deletion is trap-safe beyond the proof: the executor's ALoad/AStore
+// validate null and bounds internally, so even a pass bug could only
+// change which error is reported, never silence one. Header guards are
+// kept — at header positions the current iteration's bound test has not
+// run yet.
+func BoundsCheckElim(f *ir.Func, prog *ir.Program) bool {
+	changed := false
+	for _, l := range ir.FindLoops(f) {
+		if elimLoopChecks(f, l) {
+			changed = true
+		}
+	}
+	if changed {
+		f.Renumber()
+	}
+	return changed
+}
+
+// canonicalArrayLoop describes a proven `for i = c (c>=0); i < len(a); i
+// += k (k>=1)` loop: the induction base register, the array base register,
+// and the site of the induction increment.
+type canonicalArrayLoop struct {
+	ind      ir.Reg
+	arr      ir.Reg
+	incBlock *ir.Block
+	incIndex int
+}
+
+// matchCanonicalArrayLoop proves the loop shape or returns false.
+func matchCanonicalArrayLoop(f *ir.Func, l *ir.Loop, res *loopResolver) (canonicalArrayLoop, bool) {
+	h := l.Header
+	if h.Term.Kind != ir.TermBranch {
+		return canonicalArrayLoop{}, false
+	}
+	if !l.Blocks[h.Term.To] || l.Blocks[h.Term.Else] {
+		return canonicalArrayLoop{}, false
+	}
+	var cmp *ir.Instr
+	cmpIdx := -1
+	for i, in := range h.Code {
+		if in.Defines() && in.Dst == h.Term.Cond {
+			cmp, cmpIdx = in, i
+		}
+	}
+	if cmp == nil || cmp.Op != ir.OpCmpLT {
+		return canonicalArrayLoop{}, false
+	}
+
+	// Left side: the induction variable itself (offset 0 — `a[i+1]` style
+	// bounds are not implied by the header test).
+	iv := affineAt(h, cmpIdx, cmp.A, 0)
+	if !iv.ok || iv.base == ir.NoReg || iv.off != 0 {
+		return canonicalArrayLoop{}, false
+	}
+	step, isInd := res.inductionStep(iv.base)
+	if !isInd || step < 1 {
+		return canonicalArrayLoop{}, false
+	}
+
+	// Right side: ArrayLen of an invariant array, recomputed in the header
+	// so it bounds every body execution.
+	lenInstr, lenIdx := blockProducer(h, cmpIdx, cmp.B)
+	if lenInstr == nil || lenInstr.Op != ir.OpArrayLen {
+		return canonicalArrayLoop{}, false
+	}
+	arr := affineAt(h, lenIdx, lenInstr.A, 0)
+	if !arr.ok || arr.base == ir.NoReg || arr.off != 0 || !res.invariant(arr.base) {
+		return canonicalArrayLoop{}, false
+	}
+
+	// Entry value: the preheader must leave a non-negative constant in the
+	// induction register (with the positive step this keeps i >= 0).
+	pre := l.Preheader(f)
+	if pre == nil {
+		return canonicalArrayLoop{}, false
+	}
+	init := affineAt(pre, len(pre.Code), iv.base, 0)
+	if !init.ok || init.base != ir.NoReg || init.off < 0 {
+		return canonicalArrayLoop{}, false
+	}
+
+	// Increment discipline: the unique in-loop definition of i must sit in
+	// a block whose only in-loop successor is the header, so an
+	// incremented i is always re-tested before reaching any body guard.
+	ds := res.defs[iv.base]
+	if len(ds) != 1 {
+		return canonicalArrayLoop{}, false
+	}
+	site := res.at[ds[0]]
+	if !l.OnlyLoopSuccessor(site.block) {
+		return canonicalArrayLoop{}, false
+	}
+
+	// ScalarCAS mutates its A register in place without Defines(), so the
+	// def-count based invariance above does not see it.
+	for b := range l.Blocks {
+		for _, in := range b.Code {
+			if in.Op == ir.OpScalarCAS && (in.A == iv.base || in.A == arr.base) {
+				return canonicalArrayLoop{}, false
+			}
+		}
+	}
+	return canonicalArrayLoop{
+		ind: iv.base, arr: arr.base,
+		incBlock: site.block, incIndex: site.index,
+	}, true
+}
+
+func elimLoopChecks(f *ir.Func, l *ir.Loop) bool {
+	res := newLoopResolver(l)
+	loop, ok := matchCanonicalArrayLoop(f, l, res)
+	if !ok {
+		return false
+	}
+
+	changed := false
+	for b := range l.Blocks {
+		if b == l.Header {
+			continue // header guards precede the current iteration's test
+		}
+		var kept []*ir.Instr
+		for k, in := range b.Code {
+			switch in.Op {
+			case ir.OpGuardNull:
+				ref := affineAt(b, k, in.A, 0)
+				if ref.ok && ref.base == loop.arr && ref.off == 0 {
+					changed = true
+					continue
+				}
+			case ir.OpGuardBounds:
+				// Positions after the increment in its own block see i+step,
+				// which the header has not yet bounded.
+				if b == loop.incBlock && k > loop.incIndex {
+					break
+				}
+				arr := affineAt(b, k, in.A, 0)
+				idx := affineAt(b, k, in.B, 0)
+				if arr.ok && arr.base == loop.arr && arr.off == 0 &&
+					idx.ok && idx.base == loop.ind && idx.off == 0 {
+					changed = true
+					continue
+				}
+			}
+			kept = append(kept, in)
+		}
+		b.Code = kept
+	}
+	return changed
+}
+
+// blockProducer finds the instruction in b.Code[:idx] producing the value
+// r holds immediately before index idx, following move chains
+// positionally. It returns nil if r is inherited at block entry or the
+// chain leaves the block.
+func blockProducer(b *ir.Block, idx int, r ir.Reg) (*ir.Instr, int) {
+	cur := r
+	for i := idx - 1; i >= 0; i-- {
+		in := b.Code[i]
+		if !mutates(in, cur) {
+			continue
+		}
+		if in.Op == ir.OpMove {
+			cur = in.A
+			continue
+		}
+		if in.Op == ir.OpScalarCAS {
+			return nil, -1
+		}
+		return in, i
+	}
+	return nil, -1
+}

@@ -158,18 +158,8 @@ func hoistLoopGuards(f *ir.Func, l *ir.Loop) bool {
 	// Preheader: the unique out-of-loop predecessor of the header, ending
 	// in an unconditional jump (so hoisted guards run exactly when the
 	// loop is entered).
-	f.RecomputePreds()
-	var pre *ir.Block
-	for _, p := range l.Header.Preds {
-		if l.Blocks[p] {
-			continue
-		}
-		if pre != nil {
-			return false
-		}
-		pre = p
-	}
-	if pre == nil || pre.Term.Kind != ir.TermJump || pre.Term.To != l.Header {
+	pre := l.Preheader(f)
+	if pre == nil {
 		return false
 	}
 

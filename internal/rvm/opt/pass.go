@@ -39,6 +39,8 @@ const (
 	NameGM           = "gm"   // speculative guard motion
 	NameLV           = "lv"   // loop vectorization
 	NameDBDS         = "dbds" // dominance-based duplication simulation
+	NameABCE         = "abce" // array bounds-check elimination
+	NameStreamFuse   = "streamfuse"
 )
 
 // PaperOptimizations lists the seven §5 optimizations in the paper's
@@ -58,15 +60,18 @@ type Pipeline struct {
 }
 
 // OptPipeline returns the full optimizing pipeline (the "Graal" role in
-// Figure 6). Pass order matters: MHS must run before inlining (it turns
-// handle calls into direct calls that inlining can consume), GM before LV
-// (vectorization requires guard-free loop bodies, §5.6), and
-// canonicalize/DCE run between the major passes to clean up.
+// Figure 6). Pass order matters: StreamFuse runs early so the synthesized
+// loop bodies feed every later pass, MHS must run before inlining (it
+// turns handle calls into direct calls that inlining can consume), ABCE
+// before GM (deleting provable checks leaves GM only the speculative
+// ones) and before LV (vectorization requires guard-free loop bodies,
+// §5.6), and canonicalize/DCE run between the major passes to clean up.
 func OptPipeline() *Pipeline {
 	return &Pipeline{
 		Name: "opt",
 		Passes: []Pass{
 			{NameCanonicalize, Canonicalize},
+			{NameStreamFuse, StreamFuse},
 			{NameMHS, MethodHandleSimplify},
 			{NameInline, Inline},
 			{NameCanonicalize, Canonicalize},
@@ -75,6 +80,7 @@ func OptPipeline() *Pipeline {
 			{NameEAWA, EscapeAnalysis},
 			{NameAC, CoalesceAtomics},
 			{NameLLC, CoarsenLocks},
+			{NameABCE, BoundsCheckElim},
 			{NameGM, GuardMotion},
 			{NameLV, Vectorize},
 			{NameCanonicalize, Canonicalize},
@@ -112,25 +118,40 @@ func (p *Pipeline) Disable(names ...string) *Pipeline {
 
 // Compile runs the pipeline over every function of the program, iterating
 // each function's schedule until a fixpoint (bounded), and records
-// per-pass compilation time.
+// per-pass compilation time. Passes may synthesize new functions (stream
+// fusion does); the worklist keeps draining until every function present
+// in the program — original or synthesized — has been compiled.
 func (p *Pipeline) Compile(prog *ir.Program) {
-	for _, name := range sortedFuncNames(prog) {
-		f := prog.Funcs[name]
-		const maxRounds = 3
-		for round := 0; round < maxRounds; round++ {
-			changed := false
-			for _, pass := range p.Passes {
-				if p.Disabled[pass.Name] {
-					continue
-				}
-				start := time.Now()
-				if pass.Run(f, prog) {
-					changed = true
-				}
-				p.PassTime[pass.Name] += time.Since(start)
+	compiled := map[string]bool{}
+	for {
+		var todo []string
+		for _, name := range sortedFuncNames(prog) {
+			if !compiled[name] {
+				todo = append(todo, name)
 			}
-			if !changed {
-				break
+		}
+		if len(todo) == 0 {
+			return
+		}
+		for _, name := range todo {
+			compiled[name] = true
+			f := prog.Funcs[name]
+			const maxRounds = 3
+			for round := 0; round < maxRounds; round++ {
+				changed := false
+				for _, pass := range p.Passes {
+					if p.Disabled[pass.Name] {
+						continue
+					}
+					start := time.Now()
+					if pass.Run(f, prog) {
+						changed = true
+					}
+					p.PassTime[pass.Name] += time.Since(start)
+				}
+				if !changed {
+					break
+				}
 			}
 		}
 	}

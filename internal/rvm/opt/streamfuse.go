@@ -1,0 +1,328 @@
+package opt
+
+import (
+	"strings"
+
+	"renaissance/internal/rvm"
+	"renaissance/internal/rvm/ir"
+)
+
+// StreamFuse fuses minilang stream pipelines into single loops. The
+// minilang frontend lowers sreduce(sfilter(smap(a, f), g), z, h) into calls
+// to per-stage library methods, each of which materializes an intermediate
+// array:
+//
+//	h1 = MakeHandle "ML.f"
+//	t1 = CallStatic "ML.$smap"    [a, h1]
+//	h2 = MakeHandle "ML.g"
+//	t2 = CallStatic "ML.$sfilter" [t1, h2]
+//	h3 = MakeHandle "ML.h"
+//	r  = CallStatic "ML.$sreduce" [t2, z, h3]
+//
+// When every intermediate array is consumed exactly once by the next stage
+// and dies there, and every callback handle resolves to a known
+// MakeHandle, the chain is replaced by one call to a synthesized function
+// that loops over the source array once, applying map/filter/reduce
+// callbacks per element by direct static calls — no intermediate arrays,
+// no per-element handle dispatch, and a body the inliner can consume.
+//
+// Fusion changes the evaluation schedule from stage-at-a-time to
+// element-at-a-time. Minilang stream callbacks are pure functions of their
+// scalar arguments, so results agree exactly; executions where multiple
+// distinct traps race can report whichever the fused schedule reaches
+// first (the standard speculative-fusion contract; the differential suite
+// exercises trap-free pipelines).
+func StreamFuse(f *ir.Func, prog *ir.Program) bool {
+	changed := false
+	counts := ir.DefCounts(f)
+	sites := defSites(f, counts)
+	liveOut := ir.Liveness(f)
+	for _, b := range f.Blocks {
+		for i := 0; i < len(b.Code); i++ {
+			in := b.Code[i]
+			if in.Op != ir.OpCallStatic || streamKind(in.Sym) != "sreduce" || len(in.Args) != 3 {
+				continue
+			}
+			if fuseChain(f, prog, b, i, counts, sites, liveOut) {
+				changed = true
+				// Indices shifted; recompute the analyses and rescan.
+				counts = ir.DefCounts(f)
+				sites = defSites(f, counts)
+				liveOut = ir.Liveness(f)
+				i = -1
+			}
+		}
+	}
+	return changed
+}
+
+// streamKind classifies a stream-library method name ("C.$smap" etc.).
+func streamKind(sym string) string {
+	for _, k := range []string{"$smap", "$sfilter", "$sreduce"} {
+		if strings.HasSuffix(sym, "."+k) {
+			return k[1:]
+		}
+	}
+	return ""
+}
+
+// fusedStage is one fusable pipeline stage with its resolved callback.
+type fusedStage struct {
+	idx      int // position of the stage call in the block
+	kind     string
+	callback string
+	arrOp    ir.Reg // the stage's array operand, read at idx
+}
+
+func fuseChain(f *ir.Func, prog *ir.Program, b *ir.Block, i int,
+	counts []int, sites map[ir.Reg]defSite, liveOut map[*ir.Block]map[ir.Reg]bool) bool {
+	red := b.Code[i]
+	redHandle := traceValue(f, counts, sites, b, i, red.Args[2], 0)
+	if redHandle == nil || redHandle.Op != ir.OpMakeHandle {
+		return false
+	}
+
+	// Walk the producer chain of the reduce's array operand backward
+	// through $smap/$sfilter calls in the same block.
+	var stages []fusedStage
+	cur := red.Args[0]
+	use := i
+	for {
+		def, dIdx := chainProducer(b, use, cur)
+		if def == nil || def.Op != ir.OpCallStatic || len(def.Args) != 2 {
+			break
+		}
+		kind := streamKind(def.Sym)
+		if kind != "smap" && kind != "sfilter" {
+			break
+		}
+		if !singleUseDead(b, dIdx, use, cur, liveOut) {
+			break
+		}
+		h := traceValue(f, counts, sites, b, dIdx, def.Args[1], 0)
+		if h == nil || h.Op != ir.OpMakeHandle {
+			break
+		}
+		stages = append([]fusedStage{{dIdx, kind, h.Sym, def.Args[0]}}, stages...)
+		cur = def.Args[0]
+		use = dIdx
+	}
+	if len(stages) == 0 {
+		return false
+	}
+
+	name := fusedName(stages, redHandle.Sym)
+	if _, exists := prog.Funcs[name]; !exists {
+		prog.Funcs[name] = synthFused(name, stages, redHandle.Sym)
+	}
+
+	// Preserve the source array: the outermost stage call becomes a move
+	// into a fresh register (its operand holds the array exactly there;
+	// the stage's own destination may alias it).
+	outer := stages[0]
+	tmp := f.NewReg()
+	mv := instr(ir.OpMove)
+	mv.Dst = tmp
+	mv.A = outer.arrOp
+	*b.Code[outer.idx] = mv
+
+	drop := map[int]bool{}
+	for _, s := range stages[1:] {
+		drop[s.idx] = true
+	}
+	initReg := red.Args[1]
+	var kept []*ir.Instr
+	for j, in := range b.Code {
+		if drop[j] {
+			continue
+		}
+		kept = append(kept, in)
+	}
+	b.Code = kept
+	red.Sym = name
+	red.Args = []ir.Reg{tmp, initReg}
+	f.Renumber()
+	return true
+}
+
+// chainProducer finds the instruction defining the value r holds before
+// b.Code[use]. Unlike blockProducer it does not chase moves: a move means
+// another register still holds the intermediate array, so it is not
+// provably dead after its use.
+func chainProducer(b *ir.Block, use int, r ir.Reg) (*ir.Instr, int) {
+	for j := use - 1; j >= 0; j-- {
+		if mutates(b.Code[j], r) {
+			return b.Code[j], j
+		}
+	}
+	return nil, -1
+}
+
+// singleUseDead reports that the value defined at defIdx is read exactly
+// once — by b.Code[useIdx] — and is dead afterwards.
+func singleUseDead(b *ir.Block, defIdx, useIdx int, r ir.Reg, liveOut map[*ir.Block]map[ir.Reg]bool) bool {
+	for j := defIdx + 1; j < useIdx; j++ {
+		in := b.Code[j]
+		for _, u := range in.Uses() {
+			if u == r {
+				return false
+			}
+		}
+		if mutates(in, r) {
+			return false
+		}
+	}
+	// The consumer must read it exactly once.
+	n := 0
+	for _, u := range b.Code[useIdx].Uses() {
+		if u == r {
+			n++
+		}
+	}
+	if n != 1 {
+		return false
+	}
+	if mutates(b.Code[useIdx], r) {
+		return true // the consumer overwrites the register itself
+	}
+	for j := useIdx + 1; j < len(b.Code); j++ {
+		in := b.Code[j]
+		if mutates(in, r) {
+			return true // redefined: the old value is dead
+		}
+		for _, u := range in.Uses() {
+			if u == r {
+				return false
+			}
+		}
+	}
+	switch b.Term.Kind {
+	case ir.TermBranch:
+		if b.Term.Cond == r {
+			return false
+		}
+	case ir.TermReturn:
+		if b.Term.Ret == r {
+			return false
+		}
+	}
+	return !liveOut[b][r]
+}
+
+// fusedName derives a deterministic, shape-and-callback-specific name, so
+// identical pipelines in different functions share one synthesized body.
+func fusedName(stages []fusedStage, reduceSym string) string {
+	var sb strings.Builder
+	sb.WriteString("$fused")
+	for _, s := range stages {
+		sb.WriteString("{" + s.kind + ":" + s.callback + "}")
+	}
+	sb.WriteString("{sreduce:" + reduceSym + "}")
+	return sb.String()
+}
+
+// synthFused builds the fused loop:
+//
+//	acc = init
+//	for i = 0; i < len(arr); i++ {
+//	    v = arr[i]; v = map_k(v)...
+//	    if !filter_k(v) { continue }
+//	    acc = reduce(acc, v)
+//	}
+//	return acc
+//
+// The element load carries no guards: the loop is exactly the canonical
+// bounds-check-eliminated shape (array guarded non-null once at entry,
+// 0 <= i < len by construction), and the executor's ALoad still validates
+// internally.
+func synthFused(name string, stages []fusedStage, reduceSym string) *ir.Func {
+	f := &ir.Func{Name: name, NArgs: 2, NRegs: 2}
+	arr, acc := ir.Reg(0), ir.Reg(1)
+	iReg := f.NewReg()
+	one := f.NewReg()
+	n := f.NewReg()
+
+	entry := f.NewBlock()
+	header := f.NewBlock()
+	body := f.NewBlock()
+	latch := f.NewBlock()
+	exit := f.NewBlock()
+	f.Entry = entry
+
+	emit := func(b *ir.Block, in ir.Instr) {
+		p := in
+		b.Code = append(b.Code, &p)
+	}
+	jump := func(to *ir.Block) ir.Terminator {
+		return ir.Terminator{Kind: ir.TermJump, To: to, Cond: ir.NoReg, Ret: ir.NoReg}
+	}
+
+	g := instr(ir.OpGuardNull)
+	g.A = arr
+	emit(entry, g)
+	ln := instr(ir.OpArrayLen)
+	ln.Dst = n
+	ln.A = arr
+	emit(entry, ln)
+	c0 := instr(ir.OpConst)
+	c0.Dst = iReg
+	c0.Val = rvm.Int(0)
+	emit(entry, c0)
+	c1 := instr(ir.OpConst)
+	c1.Dst = one
+	c1.Val = rvm.Int(1)
+	emit(entry, c1)
+	entry.Term = jump(header)
+
+	cond := f.NewReg()
+	cmp := instr(ir.OpCmpLT)
+	cmp.Dst = cond
+	cmp.A = iReg
+	cmp.B = n
+	emit(header, cmp)
+	header.Term = ir.Terminator{Kind: ir.TermBranch, Cond: cond, To: body, Else: exit, Ret: ir.NoReg}
+
+	v := f.NewReg()
+	ld := instr(ir.OpALoad)
+	ld.Dst = v
+	ld.A = arr
+	ld.B = iReg
+	emit(body, ld)
+	cur := body
+	for _, st := range stages {
+		call := instr(ir.OpCallStatic)
+		call.Sym = st.callback
+		call.Args = []ir.Reg{v}
+		switch st.kind {
+		case "smap":
+			nv := f.NewReg()
+			call.Dst = nv
+			emit(cur, call)
+			v = nv
+		case "sfilter":
+			keep := f.NewReg()
+			call.Dst = keep
+			emit(cur, call)
+			next := f.NewBlock()
+			cur.Term = ir.Terminator{Kind: ir.TermBranch, Cond: keep, To: next, Else: latch, Ret: ir.NoReg}
+			cur = next
+		}
+	}
+	redCall := instr(ir.OpCallStatic)
+	redCall.Dst = acc
+	redCall.Sym = reduceSym
+	redCall.Args = []ir.Reg{acc, v}
+	emit(cur, redCall)
+	cur.Term = jump(latch)
+
+	inc := instr(ir.OpAdd)
+	inc.Dst = iReg
+	inc.A = iReg
+	inc.B = one
+	emit(latch, inc)
+	latch.Term = jump(header)
+
+	exit.Term = ir.Terminator{Kind: ir.TermReturn, Ret: acc, Cond: ir.NoReg}
+	f.Renumber()
+	return f
+}

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/metrics ./internal/forkjoin ./internal/stm ./internal/core ./internal/netstack ./internal/futures ./internal/rdd ./internal/streams ./internal/actors ./internal/rx ./internal/mpsc ./internal/rvm ./internal/rvm/opt
+RACE_PKGS = ./internal/metrics ./internal/forkjoin ./internal/stm ./internal/core ./internal/netstack ./internal/futures ./internal/rdd ./internal/streams ./internal/actors ./internal/rx ./internal/mpsc ./internal/rvm ./internal/rvm/opt ./internal/hdr ./internal/loadgen
 
 # The fault-tolerance and engine-concurrency tests: harness panic/timeout
 # isolation, netstack drain/close/breaker/shedding, client retry and close
@@ -17,8 +17,8 @@ RACE_PKGS = ./internal/metrics ./internal/forkjoin ./internal/stm ./internal/cor
 # interleavings; the rvm tier-up differential fuzz (tier-0 vs quickened
 # execution over the random bytecode corpus) rides along so the
 # interpreter tiers stay bit-identical under the race detector too.
-STRESS_RUN = 'Close|Drain|Timeout|Race|Racing|Panic|Retry|Fault|Discard|Exchange|Executor|Fused|Nested|Quiesce|Flood|Steal|Registry|Scheduler|Queue|Mailbox|Ask|Restart|Resume|Escalation|DeadLetter|Breaker|Shed|Tier|Quicken'
-STRESS_PKGS = ./internal/core ./internal/netstack ./internal/futures ./internal/rdd ./internal/forkjoin ./internal/actors ./internal/rx ./internal/mpsc ./internal/streams ./internal/rvm ./internal/rvm/opt
+STRESS_RUN = 'Close|Drain|Timeout|Race|Racing|Panic|Retry|Fault|Discard|Exchange|Executor|Fused|Nested|Quiesce|Flood|Steal|Registry|Scheduler|Queue|Mailbox|Ask|Restart|Resume|Escalation|DeadLetter|Breaker|Shed|Tier|Quicken|Admission|Backoff|Concurrent|Outstanding'
+STRESS_PKGS = ./internal/core ./internal/netstack ./internal/futures ./internal/rdd ./internal/forkjoin ./internal/actors ./internal/rx ./internal/mpsc ./internal/streams ./internal/rvm ./internal/rvm/opt ./internal/hdr ./internal/loadgen
 
 .PHONY: check vet build test race stress chaos bench bench-all bench-ci bench-contention analyze
 
@@ -84,6 +84,7 @@ bench-ci:
 	$(GO) test -run '^$$' -bench 'FusedVsMaterialized|LockedVsExchange|FanOut' -benchtime 1x -benchmem ./internal/rdd ./internal/forkjoin
 	$(GO) test -run '^$$' -bench 'ActorPingPong|ActorFanIn|ActorSpawnStorm|ActorAsk' -benchtime 1x -benchmem ./internal/actors
 	$(GO) test -run '^$$' -bench 'Dispatch|InlineCache|ArrayLoop' -benchtime 1x -benchmem -cpu 1 ./internal/rvm
+	$(GO) run ./cmd/renaissance run -bench finagle-chirper -openloop.rate 200 -openloop.duration 500ms
 
 # Every benchmark in the repo (paper figures included); slow.
 bench-all:

@@ -9,7 +9,15 @@
 //	                [-timeout d] [-retries n] [-fault spec]
 //	                [-chaos.seed n] [-chaos.rate f] [-json]
 //	                [-rvm.tier auto|0|1] [-rvm.profile]
+//	                [-openloop.rate r] [-openloop.sweep r1,r2,...] [-openloop.duration d]
 //	renaissance metrics
+//
+// With -openloop.rate or -openloop.sweep, matching benchmarks that
+// register an open-loop target run under the coordinated-omission-safe
+// load generator instead of the iteration harness: offered load follows a
+// seeded Poisson schedule (deterministic per -chaos.seed), latency is
+// measured from intended send times into HDR histograms, and a sweep
+// reports the saturation knee where p99 diverges from p50.
 //
 // Runs degrade gracefully: a benchmark that fails, panics, or exceeds its
 // deadline is recorded with its status and the sweep continues; the exit
@@ -18,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,6 +37,7 @@ import (
 
 	"renaissance/internal/chaos"
 	"renaissance/internal/core"
+	"renaissance/internal/loadgen"
 	"renaissance/internal/metrics"
 	"renaissance/internal/report"
 	"renaissance/internal/rvm"
@@ -69,6 +79,7 @@ func usage() {
                   [-timeout d] [-retries n] [-fault spec]
                   [-chaos.seed n] [-chaos.rate f] [-json]
                   [-rvm.tier auto|0|1] [-rvm.profile]
+                  [-openloop.rate r] [-openloop.sweep r1,r2,...] [-openloop.duration d]
   renaissance metrics`)
 }
 
@@ -160,6 +171,9 @@ func cmdRun(args []string) error {
 	var faults faultFlags
 	fs.Var(&faults, "fault", "inject a fault: kind[:benchmark[:iteration]], kind = delay=DUR | error[=msg] | panic[=msg] (repeatable)")
 	asJSON := fs.Bool("json", false, "emit JSON results")
+	openRate := fs.Float64("openloop.rate", 0, "offered load (req/s) for a single open-loop measurement; 0 disables open-loop mode")
+	openSweep := fs.String("openloop.sweep", "", "comma-separated offered rates (req/s) for an open-loop saturation sweep")
+	openDur := fs.Duration("openloop.duration", time.Second, "offered-load duration per open-loop rate")
 	rvmTier := fs.String("rvm.tier", "auto", "RVM execution tier: auto (profile and tier up), 0 (baseline interpreter), 1 (quicken everything)")
 	rvmProfile := fs.Bool("rvm.profile", false, "collect the RVM tier-up profile and dump per-opcode/per-call-site stats to stderr after the run")
 	if err := fs.Parse(args); err != nil {
@@ -214,6 +228,14 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("no benchmarks match suite=%q bench=%q", *suite, *bench)
 	}
 
+	if *openRate > 0 || *openSweep != "" {
+		rates, err := parseRates(*openRate, *openSweep)
+		if err != nil {
+			return err
+		}
+		return runOpenLoop(specs, r.Config, rates, *openDur, *chaosSeed, *asJSON)
+	}
+
 	t := &report.Table{Headers: []string{"suite", "benchmark", "status", "mean ms", "99% CI", "min ms", "max ms", "validated"}}
 	var results []*core.Result
 	for _, s := range specs {
@@ -249,6 +271,112 @@ func cmdRun(args []string) error {
 	if !tally.AllOK() {
 		return fmt.Errorf("%d of %d benchmarks did not complete cleanly",
 			tally.Total()-tally.OK, tally.Total())
+	}
+	return nil
+}
+
+// parseRates merges the single-rate and sweep flags into the list of
+// offered rates to measure.
+func parseRates(rate float64, sweep string) ([]float64, error) {
+	var rates []float64
+	if rate > 0 {
+		rates = append(rates, rate)
+	}
+	if sweep != "" {
+		for _, f := range strings.Split(sweep, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("bad -openloop.sweep rate %q", f)
+			}
+			rates = append(rates, v)
+		}
+	}
+	if len(rates) == 0 {
+		return nil, errors.New("no open-loop rates given")
+	}
+	return rates, nil
+}
+
+// openLoopPoint is the JSON shape of one sweep measurement.
+type openLoopPoint struct {
+	Rate       float64              `json:"rate"`
+	Throughput float64              `json:"throughput"`
+	Completed  int64                `json:"completed"`
+	Shed       int64                `json:"shed,omitempty"`
+	Rejected   int64                `json:"rejected,omitempty"`
+	Errors     int64                `json:"errors,omitempty"`
+	Dropped    int64                `json:"dropped,omitempty"`
+	Latency    *core.LatencySummary `json:"latency"`
+}
+
+type openLoopResult struct {
+	Benchmark string          `json:"benchmark"`
+	Points    []openLoopPoint `json:"points"`
+	// Knee is the index into Points of the first saturated rate, -1 when
+	// every measured rate is below the knee.
+	Knee int `json:"knee"`
+}
+
+// runOpenLoop drives every matching benchmark that registered an
+// open-loop target through a saturation sweep and renders the per-rate
+// percentile ladder with the knee marked. An empty latency histogram at
+// any rate is an error — the smoke run in CI relies on the exit code.
+func runOpenLoop(specs []*core.Spec, cfg core.Config, rates []float64, dur time.Duration, seed int64, asJSON bool) error {
+	ran := false
+	for _, s := range specs {
+		if !loadgen.HasTarget(s.Name) {
+			continue
+		}
+		ran = true
+		factory := func() (loadgen.Target, error) { return loadgen.NewTarget(s.Name, cfg) }
+		points, err := loadgen.Sweep(factory, rates, loadgen.Options{Duration: dur, Seed: seed})
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Name, err)
+		}
+		knee := loadgen.Knee(points, 0)
+		out := openLoopResult{Benchmark: s.Name, Points: make([]openLoopPoint, 0, len(points)), Knee: knee}
+		rows := make([]report.SweepRow, 0, len(points))
+		for i, pt := range points {
+			res := pt.Result
+			lat := core.SummarizeLatency(res.Hist)
+			if lat == nil {
+				return fmt.Errorf("%s: empty latency histogram at %g req/s (completed=%d shed=%d rejected=%d errors=%d)",
+					s.Name, pt.Rate, res.Completed, res.Shed, res.Rejected, res.Errors)
+			}
+			out.Points = append(out.Points, openLoopPoint{
+				Rate: pt.Rate, Throughput: res.Throughput(),
+				Completed: res.Completed, Shed: res.Shed, Rejected: res.Rejected,
+				Errors: res.Errors, Dropped: res.Dropped, Latency: lat,
+			})
+			rows = append(rows, report.SweepRow{
+				Rate: pt.Rate, Throughput: res.Throughput(),
+				P50: lat.P50Millis, P90: lat.P90Millis, P99: lat.P99Millis, P999: lat.P999Millis,
+				Completed: res.Completed, Shed: res.Shed, Rejected: res.Rejected,
+				Errors: res.Errors, Dropped: res.Dropped, Knee: i == knee,
+			})
+		}
+		if asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(out); err != nil {
+				return err
+			}
+		} else {
+			title := fmt.Sprintf("%s: open-loop sweep (%v per rate, seed %d)", s.Name, dur, seed)
+			if err := report.SweepTable(title, rows).Write(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if knee >= 0 {
+			fmt.Fprintf(os.Stderr, "renaissance: %s saturates at %.0f req/s (p99 diverged from p50)\n",
+				s.Name, points[knee].Rate)
+		} else {
+			fmt.Fprintf(os.Stderr, "renaissance: %s: no saturation knee within the measured rates\n", s.Name)
+		}
+	}
+	if !ran {
+		return fmt.Errorf("no matching benchmark registers an open-loop target (have: %s)",
+			strings.Join(loadgen.TargetNames(), ", "))
 	}
 	return nil
 }

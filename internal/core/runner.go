@@ -75,9 +75,13 @@ type Result struct {
 	Durations []float64        `json:"steadyStateMillis"` // per measured iteration
 	Total     time.Duration    `json:"-"`
 	Profile   *metrics.Profile `json:"profile,omitempty"`
-	Validated bool             `json:"validated"`
-	Status    Status           `json:"status"`
-	Err       string           `json:"error,omitempty"`
+	// Latency summarizes the workload's per-request latency distribution
+	// over the steady-state phase, for workloads implementing
+	// LatencyReporter; nil otherwise.
+	Latency   *LatencySummary `json:"latency,omitempty"`
+	Validated bool            `json:"validated"`
+	Status    Status          `json:"status"`
+	Err       string          `json:"error,omitempty"`
 	// Attempts is how many times the run executed (1 plus retries used);
 	// omitted from JSON for single-attempt runs.
 	Attempts int `json:"attempts,omitempty"`
@@ -267,6 +271,15 @@ func (r *Runner) runSpec(spec *Spec) (*Result, error) {
 		}
 	}
 
+	// Steady-state latency only: warmup samples are discarded, matching the
+	// handling of iteration durations.
+	lr, hasLatency := w.(LatencyReporter)
+	if hasLatency {
+		if h := lr.LatencyHistogram(); h != nil {
+			h.Reset()
+		}
+	}
+
 	prof := metrics.StartProfile(spec.Suite, spec.Name)
 	for i := 0; i < measured; i++ {
 		if err := runOne(i, false); err != nil {
@@ -275,6 +288,9 @@ func (r *Runner) runSpec(spec *Spec) (*Result, error) {
 		}
 	}
 	res.Profile = prof.Stop()
+	if hasLatency {
+		res.Latency = SummarizeLatency(lr.LatencyHistogram())
+	}
 
 	if v, ok := w.(Validator); ok {
 		if err := guard(v.Validate); err != nil {

@@ -1,0 +1,277 @@
+package netstack
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// Admission control: with MaxQueue configured, a request arriving while
+// MaxPending are in flight waits in the bounded accept queue instead of
+// being shed, and completes once a permit frees up.
+func TestAdmissionQueueAdmitsBeyondMaxPending(t *testing.T) {
+	g := &gate{}
+	srv, err := Serve("127.0.0.1:0", g.service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.MaxPending = 1
+	srv.MaxQueue = 4
+	srv.DrainTimeout = 100 * time.Millisecond
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	hog := cli.Call([]byte("hog"))
+	deadline := time.Now().Add(5 * time.Second)
+	for g.count() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never parked the hog request")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The second request saturates MaxPending and must queue, not shed.
+	queuedDone := make(chan error, 1)
+	go func() {
+		_, err := cli.CallSync([]byte("queued"))
+		queuedDone <- err
+	}()
+	// Give the queued request time to park in the admission queue, then
+	// release the hog: both must complete, nothing shed or rejected.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case err := <-queuedDone:
+		t.Fatalf("queued request finished while capacity was exhausted: %v", err)
+	default:
+	}
+	g.releaseAll()
+	// The hog's release frees the permit, admitting the queued request;
+	// release rounds until it lands in the service.
+	for i := 0; i < 100; i++ {
+		g.releaseAll()
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := <-queuedDone; err != nil {
+		t.Fatalf("queued request failed: %v", err)
+	}
+	if _, err := hog.Await(); err != nil {
+		t.Fatalf("hog request failed: %v", err)
+	}
+	if shed := srv.Shed.Load(); shed != 0 {
+		t.Errorf("Shed = %d with admission queue room, want 0", shed)
+	}
+	if rej := srv.Rejected.Load(); rej != 0 {
+		t.Errorf("Rejected = %d with admission queue room, want 0", rej)
+	}
+}
+
+// A full admission queue turns requests away with ErrRejected — typed
+// distinctly from ErrShed — and bumps the Rejected counter, not Shed.
+func TestAdmissionQueueRejectsWhenFull(t *testing.T) {
+	g := &gate{}
+	srv, err := Serve("127.0.0.1:0", g.service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.MaxPending = 1
+	srv.MaxQueue = 1
+	srv.DrainTimeout = 100 * time.Millisecond
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	hog := cli.Call([]byte("hog"))
+	deadline := time.Now().Add(5 * time.Second)
+	for g.count() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never parked the hog request")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	queuedDone := make(chan error, 1)
+	go func() {
+		_, err := cli.CallSync([]byte("queued"))
+		queuedDone <- err
+	}()
+	// Wait for the second request to occupy the queue slot.
+	for srv.queued.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never entered the admission queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Permit held, queue slot held: the third request must be rejected.
+	_, err = cli.CallSync([]byte("overflow"))
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("overflow call = %v, want ErrRejected", err)
+	}
+	if errors.Is(err, ErrShed) {
+		t.Fatal("ErrRejected must be distinct from ErrShed")
+	}
+	if !Retryable(err) {
+		t.Error("ErrRejected must be retryable")
+	}
+	if rej := srv.Rejected.Load(); rej == 0 {
+		t.Error("Server.Rejected counter not bumped")
+	}
+	if shed := srv.Shed.Load(); shed != 0 {
+		t.Errorf("Shed = %d, want 0: rejection must not count as shed", shed)
+	}
+	if cli.Rejected.Load() == 0 {
+		t.Error("Client.Rejected counter not bumped")
+	}
+
+	for i := 0; i < 100; i++ {
+		g.releaseAll()
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := <-queuedDone; err != nil {
+		t.Fatalf("queued request failed: %v", err)
+	}
+	if _, err := hog.Await(); err != nil {
+		t.Fatalf("hog request failed: %v", err)
+	}
+}
+
+// Regression for the shed/breaker classification bugfix: a shed response
+// comes from a healthy-but-loaded server, so sustained shedding must leave
+// the client's breaker closed. (Before the fix each shed fed
+// Breaker.onFailure and an open-loop sweep measured breaker behavior
+// instead of the saturation knee.)
+func TestBreakerStaysClosedUnderSustainedShedding(t *testing.T) {
+	g := &gate{}
+	srv, err := Serve("127.0.0.1:0", g.service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.MaxPending = 1
+	srv.DrainTimeout = 100 * time.Millisecond
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.Breaker = NewBreaker(BreakerPolicy{Threshold: 2, Cooldown: time.Hour})
+
+	hog := cli.Call([]byte("hog"))
+	deadline := time.Now().Add(5 * time.Second)
+	for g.count() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never parked the hog request")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Far more consecutive sheds than the breaker threshold.
+	const sheds = 20
+	for i := 0; i < sheds; i++ {
+		if _, err := cli.CallSync([]byte("x")); !errors.Is(err, ErrShed) {
+			t.Fatalf("overload call %d = %v, want ErrShed", i, err)
+		}
+	}
+	if state := cli.Breaker.State(); state != "closed" {
+		t.Fatalf("breaker state = %s after %d sheds, want closed", state, sheds)
+	}
+	if got := cli.Shed.Load(); got != sheds {
+		t.Errorf("Client.Shed = %d, want %d", got, sheds)
+	}
+
+	// The loaded-but-healthy server serves normally once the hog frees the
+	// permit — no cooldown to wait out. Retries cover the window between
+	// the hog's release and its permit returning.
+	cli.Retry = RetryPolicy{Max: 20, Backoff: 2 * time.Millisecond, Seed: 1}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+				g.releaseAll()
+			}
+		}
+	}()
+	defer close(stop)
+	resp, err := cli.CallSync([]byte("after"))
+	if err != nil || !bytes.Equal(resp, []byte("done")) {
+		t.Fatalf("post-shed call = (%q, %v), want (done, nil)", resp, err)
+	}
+	if _, err := hog.Await(); err != nil {
+		t.Errorf("hog call failed: %v", err)
+	}
+}
+
+// Satellite regression: the retry backoff schedule is bounded and
+// deterministic. Doubling stops at MaxBackoff, every delay carries
+// half-jitter in [base/2, base], and a pinned seed reproduces the exact
+// schedule while different seeds decorrelate.
+func TestRetryBackoffBoundedSchedule(t *testing.T) {
+	p := RetryPolicy{Max: 10, Backoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Seed: 1}
+	base := func(n int) time.Duration {
+		d := 10 * time.Millisecond
+		for i := 1; i < n && d < p.MaxBackoff; i++ {
+			d *= 2
+		}
+		if d > p.MaxBackoff {
+			d = p.MaxBackoff
+		}
+		return d
+	}
+	for n := 1; n <= 10; n++ {
+		d := p.delay(n, 42)
+		b := base(n)
+		if d < b/2 || d > b {
+			t.Errorf("delay(%d) = %v outside jitter window [%v, %v]", n, d, b/2, b)
+		}
+		if d > p.MaxBackoff {
+			t.Errorf("delay(%d) = %v exceeds MaxBackoff %v", n, d, p.MaxBackoff)
+		}
+		// Deterministic per (seed, nonce, attempt).
+		if again := p.delay(n, 42); again != d {
+			t.Errorf("delay(%d) not deterministic: %v vs %v", n, d, again)
+		}
+	}
+	// From attempt 4 on (10ms << 3 = 80ms) the base is pinned at the cap.
+	for n := 4; n <= 10; n++ {
+		d := p.delay(n, 42)
+		if d < p.MaxBackoff/2 {
+			t.Errorf("capped delay(%d) = %v below half the cap", n, d)
+		}
+	}
+
+	// Different seeds (and different nonces) must produce different
+	// schedules somewhere — lockstep retries are the bug this fixes.
+	q := p
+	q.Seed = 2
+	differs := false
+	for n := 1; n <= 10; n++ {
+		if p.delay(n, 42) != q.delay(n, 42) || p.delay(n, 42) != p.delay(n, 43) {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("jitter identical across seeds and nonces")
+	}
+
+	// Defaults: zero-valued policy still bounded by DefaultMaxBackoff.
+	var d0 RetryPolicy
+	for n := 1; n <= 20; n++ {
+		if d := d0.delay(n, 7); d > DefaultMaxBackoff {
+			t.Errorf("default delay(%d) = %v exceeds DefaultMaxBackoff", n, d)
+		}
+	}
+}

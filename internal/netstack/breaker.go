@@ -22,8 +22,17 @@ import (
 
 // ErrShed is returned by Client calls whose request the server rejected
 // under load shedding (see Server.MaxPending). It is retryable: the
-// request was never executed.
+// request was never executed. A shed response is an overload signal from a
+// live server, so it does not count against the circuit breaker's failure
+// ladder.
 var ErrShed = errors.New("netstack: request shed by server")
+
+// ErrRejected is returned by Client calls whose request the server's
+// admission control turned away because the bounded accept queue in front
+// of MaxPending was full (see Server.MaxQueue). Like ErrShed it is
+// retryable and breaker-neutral; the two are distinct so callers can tell
+// queue overflow (rejected) from queueless shedding (shed).
+var ErrRejected = errors.New("netstack: request rejected by admission control")
 
 // ErrBreakerOpen is returned by Client calls failed fast by an open
 // circuit breaker. It is retryable: a later attempt may find the breaker
@@ -150,8 +159,8 @@ func (b *Breaker) trip() {
 }
 
 // Retryable classifies a Client call error: true means transient — worth
-// a backoff and another attempt (shed requests, an open breaker, IO and
-// dial failures, injected faults) — false means retrying cannot help
+// a backoff and another attempt (shed and rejected requests, an open
+// breaker, IO and dial failures, injected faults) — false means retrying cannot help
 // (closed client, application-level failures), so callers should fail
 // fast. The client's own retry loop consults it, stopping early on a
 // non-retryable error however many retries the policy allows.
@@ -159,7 +168,7 @@ func Retryable(err error) bool {
 	if err == nil || errors.Is(err, ErrClosed) {
 		return false
 	}
-	if errors.Is(err, ErrShed) || errors.Is(err, ErrBreakerOpen) {
+	if errors.Is(err, ErrShed) || errors.Is(err, ErrRejected) || errors.Is(err, ErrBreakerOpen) {
 		return true
 	}
 	var ne net.Error

@@ -57,6 +57,13 @@ type Service func(req []byte) *futures.Future[[]byte]
 // ErrShed. It rides the server's "ERR:"-prefix error convention.
 var shedPayload = []byte("ERR:shed")
 
+// rejectPayload is the reserved response payload announcing that the
+// admission queue in front of MaxPending was full; the client converts it
+// to ErrRejected. Distinct from shedPayload so clients and load generators
+// can tell "the service queue overflowed" (reject) from "the service was
+// bypassed entirely" (shed, MaxQueue unset).
+var rejectPayload = []byte("ERR:reject")
+
 // readFrame reads one length-prefixed frame.
 func readFrame(r io.Reader) ([]byte, error) {
 	if chaos.Maybe("netstack.read") {
@@ -106,6 +113,15 @@ type Server struct {
 	// immediately with a shed response instead of queueing behind the
 	// service. 0 disables shedding.
 	MaxPending int
+	// MaxQueue, when > 0 alongside MaxPending, is admission control: a
+	// bounded accept queue in front of the MaxPending in-flight limit.
+	// Requests arriving while MaxPending are in flight wait in the queue
+	// (blocking their connection's read loop — per-connection
+	// backpressure) instead of being shed; only when the queue itself is
+	// full is the request turned away, with a typed rejection
+	// (ErrRejected) distinct from shed. Both limits are latched on the
+	// first request, so set them before serving traffic.
+	MaxQueue int
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -114,8 +130,16 @@ type Server struct {
 	Requests atomic.Int64
 	// Shed counts requests rejected under load shedding. Shed requests are
 	// not counted in Requests — they never reached the service.
-	Shed     atomic.Int64
-	inFlight atomic.Int64
+	Shed atomic.Int64
+	// Rejected counts requests turned away by admission control because
+	// the accept queue was full. Like shed requests, they never reached
+	// the service.
+	Rejected atomic.Int64
+
+	queued    atomic.Int64  // admission-queue occupancy
+	admitOnce sync.Once     // latches MaxPending/MaxQueue into admitSem
+	admitSem  chan struct{} // in-flight permits; nil when MaxPending == 0
+	closing   chan struct{} // closed by Close; unblocks queued waiters
 }
 
 // Serve starts a server on the given address ("127.0.0.1:0" picks a free
@@ -125,7 +149,11 @@ func Serve(addr string, svc Service) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, svc: svc, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		ln: ln, svc: svc,
+		conns:   make(map[net.Conn]struct{}),
+		closing: make(chan struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -169,22 +197,77 @@ func (s *Server) untrack(conn net.Conn) {
 	s.mu.Unlock()
 }
 
+// admission returns the in-flight permit semaphore, latching MaxPending on
+// first use (nil when shedding is disabled).
+func (s *Server) admission() chan struct{} {
+	s.admitOnce.Do(func() {
+		if s.MaxPending > 0 {
+			s.admitSem = make(chan struct{}, s.MaxPending)
+		}
+	})
+	return s.admitSem
+}
+
+// admitVerdict is the fate of one request under admission control.
+type admitVerdict int
+
+const (
+	admitServe   admitVerdict = iota // request holds an in-flight permit
+	admitShed                        // over capacity, no queue: shed
+	admitReject                      // admission queue full: typed rejection
+	admitClosing                     // server shutting down while queued
+)
+
+// admit applies admission control to one request: a free in-flight permit
+// admits it immediately; otherwise, if a bounded accept queue is
+// configured (MaxQueue) and has room, the request waits in it for a permit
+// — blocking this connection's read loop, which is the backpressure — and
+// only a full queue turns the request away. With no queue the verdict is
+// the legacy immediate shed.
+func (s *Server) admit() admitVerdict {
+	sem := s.admission()
+	if sem == nil {
+		return admitServe
+	}
+	select {
+	case sem <- struct{}{}:
+		return admitServe
+	default:
+	}
+	if s.MaxQueue > 0 {
+		if s.queued.Add(1) <= int64(s.MaxQueue) {
+			defer s.queued.Add(-1)
+			metrics.IncPark()
+			select {
+			case sem <- struct{}{}:
+				return admitServe
+			case <-s.closing:
+				return admitClosing
+			}
+		}
+		s.queued.Add(-1)
+		return admitReject
+	}
+	return admitShed
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.untrack(conn)
 	defer conn.Close()
 	var writeMu sync.Mutex
 	var pending sync.WaitGroup
+loop:
 	for {
 		req, err := readFrame(conn)
 		if err != nil {
 			break
 		}
-		if s.MaxPending > 0 && s.inFlight.Add(1) > int64(s.MaxPending) {
-			// Bounded-queue load shedding: answer immediately with the
-			// shed marker instead of queueing behind the service. A shed
+		switch s.admit() {
+		case admitShed:
+			// Bounded load shedding: answer immediately with the shed
+			// marker instead of queueing behind the service. A shed
 			// request is a dropped message in the fault-path accounting.
-			s.inFlight.Add(-1)
 			s.Shed.Add(1)
 			metrics.IncDeadLetter()
 			metrics.IncSynch()
@@ -192,6 +275,19 @@ func (s *Server) serveConn(conn net.Conn) {
 			_ = writeFrame(conn, shedPayload)
 			writeMu.Unlock()
 			continue
+		case admitReject:
+			// Admission-control rejection: the accept queue in front of
+			// the service is full. Typed distinctly from shed so clients
+			// can count queue overflow separately.
+			s.Rejected.Add(1)
+			metrics.IncDeadLetter()
+			metrics.IncSynch()
+			writeMu.Lock()
+			_ = writeFrame(conn, rejectPayload)
+			writeMu.Unlock()
+			continue
+		case admitClosing:
+			break loop
 		}
 		metrics.IncAtomic()
 		s.Requests.Add(1)
@@ -200,8 +296,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		pending.Add(1)
 		fut.OnComplete(func(resp []byte, err error) {
 			defer pending.Done()
-			if s.MaxPending > 0 {
-				s.inFlight.Add(-1)
+			if sem := s.admitSem; sem != nil {
+				<-sem
 			}
 			if err != nil {
 				resp = append([]byte("ERR:"), err.Error()...)
@@ -225,6 +321,7 @@ func (s *Server) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	close(s.closing) // unblock requests waiting in the admission queue
 	err := s.ln.Close()
 
 	done := make(chan struct{})
@@ -259,17 +356,65 @@ func (s *Server) Close() error {
 	}
 }
 
+// DefaultMaxBackoff caps the exponential retry backoff when
+// RetryPolicy.MaxBackoff is unset. Without a cap the doubling schedule
+// reaches multi-second sleeps after a handful of transient failures.
+const DefaultMaxBackoff = 250 * time.Millisecond
+
 // RetryPolicy configures the client's handling of transient dial and IO
 // errors: a failed round trip closes the bad connection and is retried on
-// a freshly dialed one, sleeping Backoff (doubled each retry) between
-// attempts.
+// a freshly dialed one, sleeping an exponentially growing, capped,
+// jittered backoff between attempts.
 type RetryPolicy struct {
 	// Max is the number of retries after the first attempt; 0 disables
 	// retrying.
 	Max int
-	// Backoff is the sleep before the first retry (doubled each further
-	// retry). Defaults to 10ms when retries are enabled and Backoff is 0.
+	// Backoff is the base sleep before the first retry (doubled each
+	// further retry). Defaults to 10ms when retries are enabled and
+	// Backoff is 0.
 	Backoff time.Duration
+	// MaxBackoff caps the doubling; 0 means DefaultMaxBackoff.
+	MaxBackoff time.Duration
+	// Seed feeds the deterministic jitter stream. Clients sharing a seed
+	// still decorrelate per call, but a pinned seed makes the whole
+	// schedule reproducible in tests. 0 is a valid seed.
+	Seed int64
+}
+
+// mix64 is a splitmix64 finalizer: the stateless full-avalanche mixer
+// behind the jitter stream (same construction as the chaos engine's
+// decision streams).
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// delay returns the sleep before retry n (n ≥ 1) of the call identified by
+// nonce: the base backoff doubled per retry and capped at MaxBackoff, then
+// half-jittered — uniform in [d/2, d] as a pure function of (Seed, nonce,
+// n) — so synchronized clients spread out instead of retrying in lockstep,
+// and a pinned seed reproduces the exact schedule.
+func (p RetryPolicy) delay(n int, nonce uint64) time.Duration {
+	d := p.Backoff
+	if d <= 0 {
+		d = 10 * time.Millisecond
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = DefaultMaxBackoff
+	}
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := mix64(uint64(p.Seed) ^ mix64(nonce<<8^uint64(n)))
+	frac := float64(h>>11) / float64(1<<53) // uniform in [0, 1)
+	half := d / 2
+	return half + time.Duration(frac*float64(half))
 }
 
 // poolConn is one pool slot. Exactly poolSize tokens circulate through the
@@ -294,14 +439,26 @@ type Client struct {
 	// fast whatever Max allows.
 	Retry RetryPolicy
 	// Breaker, when non-nil (see NewBreaker), fail-fasts calls while the
-	// service is unhealthy: every attempt consults it, every outcome feeds
-	// it. Shed responses count as failures — sustained overload opens the
-	// breaker and backpressure moves into the client.
+	// service is unhealthy: every attempt consults it, and every
+	// *service* outcome feeds it. Shed and rejected responses are
+	// deliberately neither failures nor successes: a loaded server is a
+	// healthy server, so sustained overload must not flip the breaker
+	// open (which would make an open-loop saturation sweep measure
+	// breaker behavior instead of the queueing knee). Overload
+	// backpressure lives in the retry backoff instead.
 	Breaker *Breaker
 
-	closed atomic.Bool
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	// Shed counts responses the server answered with the load-shedding
+	// marker; Rejected counts admission-control rejections. Both are
+	// per-attempt counts, kept separately from the breaker's
+	// failure ladder.
+	Shed     atomic.Int64
+	Rejected atomic.Int64
+
+	closed  atomic.Bool
+	callSeq atomic.Uint64 // per-call nonce feeding the jitter stream
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
 }
 
 // Dial creates a client with the given connection-pool size.
@@ -398,15 +555,11 @@ func (c *Client) Call(req []byte) *futures.Future[[]byte] {
 	}
 	go func() {
 		attempts := 1 + c.Retry.Max
-		backoff := c.Retry.Backoff
-		if backoff <= 0 {
-			backoff = 10 * time.Millisecond
-		}
+		nonce := c.callSeq.Add(1)
 		var lastErr error
 		for attempt := 0; attempt < attempts; attempt++ {
 			if attempt > 0 {
-				time.Sleep(backoff)
-				backoff *= 2
+				time.Sleep(c.Retry.delay(attempt, nonce))
 			}
 			if err := c.Breaker.Allow(); err != nil {
 				// Fail fast without touching the pool; a later attempt may
@@ -426,11 +579,23 @@ func (c *Client) Call(req []byte) *futures.Future[[]byte] {
 			}
 			resp, err := c.roundTrip(pc.conn, req)
 			if err == nil && bytes.Equal(resp, shedPayload) {
-				// The server dropped the request under load; the
-				// connection itself is healthy, so keep it pooled.
-				c.Breaker.onFailure()
+				// The server dropped the request under load. The
+				// connection is healthy and the server answered, so keep
+				// the connection pooled, count the shed, back off, and
+				// retry — without feeding the breaker's failure ladder: a
+				// loaded server is not a dead one.
+				c.Shed.Add(1)
 				c.release(pc)
 				lastErr = ErrShed
+				continue
+			}
+			if err == nil && bytes.Equal(resp, rejectPayload) {
+				// Admission control turned the request away: the accept
+				// queue was full. Same handling as shed, counted
+				// separately.
+				c.Rejected.Add(1)
+				c.release(pc)
+				lastErr = ErrRejected
 				continue
 			}
 			if err == nil {

@@ -404,6 +404,8 @@ func cmdMetrics() error {
 		metrics.Method:     "dynamically dispatched calls",
 		metrics.IDynamic:   "closure dispatches (invokedynamic analogues)",
 		metrics.DeadLetter: "undeliverable messages and shed requests (fault path)",
+		metrics.StmAbort:   "STM transaction aborts (conflicts and contention)",
+		metrics.StmExtend:  "STM read-version timestamp extensions",
 	}
 	t := &report.Table{Title: "Table 2: characterizing metrics", Headers: []string{"name", "description"}}
 	for _, m := range metrics.AllMetrics() {

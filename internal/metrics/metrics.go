@@ -59,6 +59,16 @@ const (
 	// concurrency-primitive cost of failure handling the same way the
 	// other counters quantify the happy path.
 	DeadLetter
+	// StmAbort extends Table 2 with the STM contention-manager counters:
+	// transactional aborts (conflicts detected at read, lock acquisition,
+	// or validation time, plus injected commit faults). Together with
+	// StmExtend it characterizes how much optimistic work the atomic/STM
+	// workload cluster discards versus salvages.
+	StmAbort
+	// StmExtend counts successful TL2 timestamp extensions: reads that
+	// would have aborted the transaction under plain TL2 but instead
+	// revalidated the read set against a newer clock and continued.
+	StmExtend
 
 	NumMetrics // number of metrics
 )
@@ -66,6 +76,7 @@ const (
 var metricNames = [NumMetrics]string{
 	"synch", "wait", "notify", "atomic", "park", "cpu",
 	"cachemiss", "object", "array", "method", "idynamic", "deadletter",
+	"stmabort", "stmextend",
 }
 
 // String returns the paper's short name for the metric.
@@ -275,6 +286,12 @@ func (l Local) AddCacheMiss(n int64) { l.sh.lanes[CacheMiss].v.Add(n) }
 // IncDeadLetter records one dropped or dead-lettered message.
 func (l Local) IncDeadLetter() { l.sh.lanes[DeadLetter].v.Add(1) }
 
+// IncStmAbort records one STM transactional abort.
+func (l Local) IncStmAbort() { l.sh.lanes[StmAbort].v.Add(1) }
+
+// IncStmExtend records one successful STM timestamp extension.
+func (l Local) IncStmExtend() { l.sh.lanes[StmExtend].v.Add(1) }
+
 // A Snapshot is a point-in-time copy of the counters.
 type Snapshot struct {
 	Counts [NumMetrics]int64
@@ -347,3 +364,10 @@ func AddCacheMiss(n int64) { Default.Add(CacheMiss, n) }
 // stopped actor, a message drained from a stopped actor's mailbox, or a
 // shed netstack request).
 func IncDeadLetter() { Default.Add(DeadLetter, 1) }
+
+// IncStmAbort records one STM transactional abort (conflict, failed lock
+// acquisition, failed validation, or injected commit fault).
+func IncStmAbort() { Default.Add(StmAbort, 1) }
+
+// IncStmExtend records one successful STM timestamp extension.
+func IncStmExtend() { Default.Add(StmExtend, 1) }

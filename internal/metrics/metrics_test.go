@@ -11,6 +11,7 @@ func TestMetricNames(t *testing.T) {
 	want := []string{
 		"synch", "wait", "notify", "atomic", "park", "cpu",
 		"cachemiss", "object", "array", "method", "idynamic", "deadletter",
+		"stmabort", "stmextend",
 	}
 	for i, w := range want {
 		if got := Metric(i).String(); got != w {

@@ -1,0 +1,35 @@
+package stm
+
+import "sync"
+
+// glSTM is the coarse-global-lock reference STM used by the differential
+// property tests: one mutex serializes every "transaction", which makes it
+// trivially opaque and serializable — the oracle the TL2 fast paths
+// (timestamp extension included) are checked against.
+type glSTM struct {
+	mu   sync.Mutex
+	vals []int
+}
+
+func newGLSTM(n, initial int) *glSTM {
+	g := &glSTM{vals: make([]int, n)}
+	for i := range g.vals {
+		g.vals[i] = initial
+	}
+	return g
+}
+
+// atomically runs fn with exclusive access to every cell.
+func (g *glSTM) atomically(fn func(vals []int)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	fn(g.vals)
+}
+
+func (g *glSTM) snapshot() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]int, len(g.vals))
+	copy(out, g.vals)
+	return out
+}

@@ -1,0 +1,204 @@
+package stm
+
+// A faithful copy of the seed TL2 implementation, kept as the in-test
+// baseline for the seed-vs-new benchmarks (BENCH_stm.txt): global
+// mutex-guarded broadcast channel for Retry, map[*ref]any write set sorted
+// at every commit, box-wrapped atomic.Value stores, unbounded ReadAtomic
+// spin. Metrics instrumentation is stripped — both sides of the comparison
+// run uninstrumented transaction logic plus their own synchronization, so
+// the deltas isolate the algorithmic change.
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	seedClock   atomic.Int64
+	seedRefIDs  atomic.Uint64
+	seedRetryMu sync.Mutex
+	seedRetryCh = make(chan struct{})
+)
+
+func seedCommitBroadcast() {
+	seedRetryMu.Lock()
+	close(seedRetryCh)
+	seedRetryCh = make(chan struct{})
+	seedRetryMu.Unlock()
+}
+
+func seedCurrentRetryGen() <-chan struct{} {
+	seedRetryMu.Lock()
+	ch := seedRetryCh
+	seedRetryMu.Unlock()
+	return ch
+}
+
+type seedRef struct {
+	id    uint64
+	state atomic.Int64
+	value atomic.Value
+}
+
+type seedBox struct{ v any }
+
+func newSeedRef(initial any) *seedRef {
+	r := &seedRef{id: seedRefIDs.Add(1)}
+	r.value.Store(seedBox{initial})
+	return r
+}
+
+var errSeedConflict = errors.New("stm: seed conflict")
+
+type seedRetrySignal struct{}
+
+type seedTx struct {
+	readVersion int64
+	reads       []seedReadEntry
+	writes      map[*seedRef]any
+}
+
+type seedReadEntry struct {
+	ref     *seedRef
+	version int64
+}
+
+func (tx *seedTx) read(r *seedRef) any {
+	if v, written := tx.writes[r]; written {
+		return v
+	}
+	for spins := 0; ; spins++ {
+		s1 := r.state.Load()
+		if !stateLocked(s1) {
+			v := r.value.Load().(seedBox).v
+			s2 := r.state.Load()
+			if s1 == s2 {
+				if stateVersion(s1) > tx.readVersion {
+					panic(errSeedConflict)
+				}
+				tx.reads = append(tx.reads, seedReadEntry{r, stateVersion(s1)})
+				return v
+			}
+		}
+		if spins > 64 {
+			panic(errSeedConflict)
+		}
+	}
+}
+
+func (tx *seedTx) write(r *seedRef, v any) {
+	if tx.writes == nil {
+		tx.writes = make(map[*seedRef]any, 4)
+	}
+	tx.writes[r] = v
+}
+
+func (tx *seedTx) retry() {
+	panic(seedRetrySignal{})
+}
+
+func seedAtomically(fn func(tx *seedTx) error) error {
+	for {
+		gen := seedCurrentRetryGen()
+		tx := &seedTx{readVersion: seedClock.Load()}
+		outcome, err := seedRunAttempt(tx, fn)
+		switch outcome {
+		case attemptOK:
+			if err != nil {
+				return err
+			}
+			if tx.commit() {
+				return nil
+			}
+		case attemptConflict:
+		case attemptRetry:
+			<-gen
+		}
+	}
+}
+
+func seedRunAttempt(tx *seedTx, fn func(tx *seedTx) error) (outcome attemptOutcome, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			switch p {
+			case errSeedConflict:
+				outcome = attemptConflict
+			default:
+				if _, isRetry := p.(seedRetrySignal); isRetry {
+					outcome = attemptRetry
+					return
+				}
+				panic(p)
+			}
+		}
+	}()
+	err = fn(tx)
+	return attemptOK, err
+}
+
+func (tx *seedTx) commit() bool {
+	if len(tx.writes) == 0 {
+		return true
+	}
+	locked := make([]*seedRef, 0, len(tx.writes))
+	refs := make([]*seedRef, 0, len(tx.writes))
+	for r := range tx.writes {
+		refs = append(refs, r)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].id < refs[j].id })
+	abort := func() {
+		for _, r := range locked {
+			prev := r.state.Load()
+			r.state.Store(stateVersion(prev) << 1)
+		}
+	}
+	for _, r := range refs {
+		s := r.state.Load()
+		ok := !stateLocked(s) && r.state.CompareAndSwap(s, s|1)
+		if !ok || stateVersion(s) > tx.readVersion {
+			if ok {
+				r.state.Store(stateVersion(s) << 1)
+			}
+			abort()
+			return false
+		}
+		locked = append(locked, r)
+	}
+	for _, re := range tx.reads {
+		s := re.ref.state.Load()
+		_, mine := tx.writes[re.ref]
+		if stateVersion(s) != re.version || (stateLocked(s) && !mine) {
+			abort()
+			return false
+		}
+	}
+	wv := seedClock.Add(1)
+	for _, r := range refs {
+		r.value.Store(seedBox{tx.writes[r]})
+		r.state.Store(wv << 1)
+	}
+	seedCommitBroadcast()
+	return true
+}
+
+func seedReadAtomic(r *seedRef) any {
+	for {
+		s1 := r.state.Load()
+		if stateLocked(s1) {
+			continue
+		}
+		v := r.value.Load().(seedBox).v
+		if r.state.Load() == s1 {
+			return v
+		}
+	}
+}
+
+func seedWriteAtomic(r *seedRef, v any) {
+	_ = seedAtomically(func(tx *seedTx) error {
+		tx.write(r, v)
+		return nil
+	})
+}

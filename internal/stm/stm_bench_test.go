@@ -1,0 +1,398 @@
+package stm
+
+// Seed-vs-new benchmark pairs behind `make bench` (teed to BENCH_stm.txt).
+// Each pair duplicates the workload loop rather than abstracting over a
+// shared interface: an interface call on the hot path would hide exactly
+// the dispatch and boxing costs the comparison is meant to expose.
+//
+//   CommitNoWaiters            — 2-read/2-write transfer, no Retry waiters
+//   RetryWakeup                — two-goroutine Retry ping-pong (wakeup latency)
+//   ReadOnlyTraversalUnderWrites — long read-only scan with background writers
+//   PhilosophersE2E            — dining philosophers, contended fork acquisition
+//   STMBench7E2E               — mixed traversal/update over a flat ref array
+//
+// New-path values stay below 256 so integer stores hit the runtime's static
+// box and the commit path is observably zero-alloc (-benchmem).
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// --- CommitNoWaiters -------------------------------------------------------
+
+func BenchmarkCommitNoWaiters(b *testing.B) {
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		src := NewRef(100)
+		dst := NewRef(0)
+		for pb.Next() {
+			_ = Atomically(func(tx *Tx) error {
+				s := tx.Read(src).(int)
+				d := tx.Read(dst).(int)
+				tx.Write(src, (s-1)&0xff)
+				tx.Write(dst, (d+1)&0xff)
+				return nil
+			})
+		}
+	})
+}
+
+func BenchmarkCommitNoWaitersSeed(b *testing.B) {
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		src := newSeedRef(100)
+		dst := newSeedRef(0)
+		for pb.Next() {
+			_ = seedAtomically(func(tx *seedTx) error {
+				s := tx.read(src).(int)
+				d := tx.read(dst).(int)
+				tx.write(src, (s-1)&0xff)
+				tx.write(dst, (d+1)&0xff)
+				return nil
+			})
+		}
+	})
+}
+
+// --- RetryWakeup -----------------------------------------------------------
+
+// One round trip: the consumer Retry-waits for flag!=0, clears it, and the
+// producer sets it again. Measures commit→wakeup→re-run latency.
+func BenchmarkRetryWakeup(b *testing.B) {
+	b.ReportAllocs()
+	flag := NewRef(0)
+	done := NewRef(false)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			stop := false
+			_ = Atomically(func(tx *Tx) error {
+				if tx.Read(done).(bool) {
+					stop = true
+					return nil
+				}
+				if tx.Read(flag).(int) == 0 {
+					tx.Retry()
+				}
+				tx.Write(flag, 0)
+				return nil
+			})
+			if stop {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WriteAtomic(flag, 1)
+		for ReadAtomic(flag).(int) != 0 {
+			runtime.Gosched()
+		}
+	}
+	b.StopTimer()
+	_ = Atomically(func(tx *Tx) error {
+		tx.Write(done, true)
+		tx.Write(flag, 1)
+		return nil
+	})
+	wg.Wait()
+}
+
+func BenchmarkRetryWakeupSeed(b *testing.B) {
+	b.ReportAllocs()
+	flag := newSeedRef(0)
+	done := newSeedRef(false)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			stop := false
+			_ = seedAtomically(func(tx *seedTx) error {
+				if tx.read(done).(bool) {
+					stop = true
+					return nil
+				}
+				if tx.read(flag).(int) == 0 {
+					tx.retry()
+				}
+				tx.write(flag, 0)
+				return nil
+			})
+			if stop {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seedWriteAtomic(flag, 1)
+		for seedReadAtomic(flag).(int) != 0 {
+			runtime.Gosched()
+		}
+	}
+	b.StopTimer()
+	_ = seedAtomically(func(tx *seedTx) error {
+		tx.write(done, true)
+		tx.write(flag, 1)
+		return nil
+	})
+	wg.Wait()
+}
+
+// --- ReadOnlyTraversalUnderWrites ------------------------------------------
+
+const (
+	benchTraversalRefs  = 64
+	benchTraversalQuiet = 48 // writers only touch refs [quiet, refs)
+)
+
+// Background writers transfer between the tail refs while the benchmark
+// loop scans all of them in one read-only transaction. The new path leans
+// on timestamp extension to finish the scan; the seed path aborts and
+// restarts from scratch whenever the clock moves past its read version.
+// Writers yield every transfer so the seed variant still terminates.
+func BenchmarkReadOnlyTraversalUnderWrites(b *testing.B) {
+	b.ReportAllocs()
+	refs := make([]*Ref, benchTraversalRefs)
+	for i := range refs {
+		refs[i] = NewRef(10)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := benchTraversalQuiet + w
+			for !stop.Load() {
+				j := benchTraversalQuiet + (i-benchTraversalQuiet+1)%(benchTraversalRefs-benchTraversalQuiet)
+				a, c := refs[i], refs[j]
+				_ = Atomically(func(tx *Tx) error {
+					av := tx.Read(a).(int)
+					cv := tx.Read(c).(int)
+					tx.Write(a, (av-1)&0xff)
+					tx.Write(c, (cv+1)&0xff)
+					return nil
+				})
+				i = j
+				runtime.Gosched()
+			}
+		}(w)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := 0
+		_ = Atomically(func(tx *Tx) error {
+			sum = 0
+			for _, r := range refs {
+				sum += tx.Read(r).(int)
+			}
+			return nil
+		})
+		_ = sum
+	}
+	b.StopTimer()
+	stop.Store(true)
+	wg.Wait()
+}
+
+func BenchmarkReadOnlyTraversalUnderWritesSeed(b *testing.B) {
+	b.ReportAllocs()
+	refs := make([]*seedRef, benchTraversalRefs)
+	for i := range refs {
+		refs[i] = newSeedRef(10)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := benchTraversalQuiet + w
+			for !stop.Load() {
+				j := benchTraversalQuiet + (i-benchTraversalQuiet+1)%(benchTraversalRefs-benchTraversalQuiet)
+				a, c := refs[i], refs[j]
+				_ = seedAtomically(func(tx *seedTx) error {
+					av := tx.read(a).(int)
+					cv := tx.read(c).(int)
+					tx.write(a, (av-1)&0xff)
+					tx.write(c, (cv+1)&0xff)
+					return nil
+				})
+				i = j
+				runtime.Gosched()
+			}
+		}(w)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := 0
+		_ = seedAtomically(func(tx *seedTx) error {
+			sum = 0
+			for _, r := range refs {
+				sum += tx.read(r).(int)
+			}
+			return nil
+		})
+		_ = sum
+	}
+	b.StopTimer()
+	stop.Store(true)
+	wg.Wait()
+}
+
+// --- PhilosophersE2E -------------------------------------------------------
+
+const benchPhilosophers = 8
+
+// One op = one philosopher acquiring both forks (Retry if taken), "eating"
+// by bumping a counter, and releasing. Stresses Retry under real conflict.
+func BenchmarkPhilosophersE2E(b *testing.B) {
+	b.ReportAllocs()
+	forks := make([]*Ref, benchPhilosophers)
+	for i := range forks {
+		forks[i] = NewRef(false)
+	}
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		seat := int(next.Add(1)-1) % benchPhilosophers
+		left, right := forks[seat], forks[(seat+1)%benchPhilosophers]
+		meals := 0
+		for pb.Next() {
+			_ = Atomically(func(tx *Tx) error {
+				if tx.Read(left).(bool) || tx.Read(right).(bool) {
+					tx.Retry()
+				}
+				tx.Write(left, true)
+				tx.Write(right, true)
+				return nil
+			})
+			meals++
+			_ = Atomically(func(tx *Tx) error {
+				tx.Write(left, false)
+				tx.Write(right, false)
+				return nil
+			})
+		}
+		_ = meals
+	})
+}
+
+func BenchmarkPhilosophersE2ESeed(b *testing.B) {
+	b.ReportAllocs()
+	forks := make([]*seedRef, benchPhilosophers)
+	for i := range forks {
+		forks[i] = newSeedRef(false)
+	}
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		seat := int(next.Add(1)-1) % benchPhilosophers
+		left, right := forks[seat], forks[(seat+1)%benchPhilosophers]
+		meals := 0
+		for pb.Next() {
+			_ = seedAtomically(func(tx *seedTx) error {
+				if tx.read(left).(bool) || tx.read(right).(bool) {
+					tx.retry()
+				}
+				tx.write(left, true)
+				tx.write(right, true)
+				return nil
+			})
+			meals++
+			_ = seedAtomically(func(tx *seedTx) error {
+				tx.write(left, false)
+				tx.write(right, false)
+				return nil
+			})
+		}
+		_ = meals
+	})
+}
+
+// --- STMBench7E2E ----------------------------------------------------------
+
+const benchSBRefs = 128
+
+// Flattened stm-bench7 mix over a ref array: 25% full read-only traversal,
+// 75% short two-ref transfer, operation chosen by a per-goroutine LCG.
+func BenchmarkSTMBench7E2E(b *testing.B) {
+	b.ReportAllocs()
+	refs := make([]*Ref, benchSBRefs)
+	for i := range refs {
+		refs[i] = NewRef(100)
+	}
+	var seq atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		rng := seq.Add(1)*0x9E3779B97F4A7C15 | 1
+		for pb.Next() {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			op := (rng >> 33) % 100
+			if op < 25 {
+				sum := 0
+				_ = Atomically(func(tx *Tx) error {
+					sum = 0
+					for _, r := range refs {
+						sum += tx.Read(r).(int)
+					}
+					return nil
+				})
+				_ = sum
+			} else {
+				i := int((rng >> 13) % benchSBRefs)
+				j := (i + 1) % benchSBRefs
+				a, c := refs[i], refs[j]
+				_ = Atomically(func(tx *Tx) error {
+					av := tx.Read(a).(int)
+					cv := tx.Read(c).(int)
+					tx.Write(a, (av-1)&0xff)
+					tx.Write(c, (cv+1)&0xff)
+					return nil
+				})
+			}
+		}
+	})
+}
+
+func BenchmarkSTMBench7E2ESeed(b *testing.B) {
+	b.ReportAllocs()
+	refs := make([]*seedRef, benchSBRefs)
+	for i := range refs {
+		refs[i] = newSeedRef(100)
+	}
+	var seq atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		rng := seq.Add(1)*0x9E3779B97F4A7C15 | 1
+		for pb.Next() {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			op := (rng >> 33) % 100
+			if op < 25 {
+				sum := 0
+				_ = seedAtomically(func(tx *seedTx) error {
+					sum = 0
+					for _, r := range refs {
+						sum += tx.read(r).(int)
+					}
+					return nil
+				})
+				_ = sum
+			} else {
+				i := int((rng >> 13) % benchSBRefs)
+				j := (i + 1) % benchSBRefs
+				a, c := refs[i], refs[j]
+				_ = seedAtomically(func(tx *seedTx) error {
+					av := tx.read(a).(int)
+					cv := tx.read(c).(int)
+					tx.write(a, (av-1)&0xff)
+					tx.write(c, (cv+1)&0xff)
+					return nil
+				})
+			}
+		}
+	})
+}

@@ -2,18 +2,24 @@ package rdd
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"renaissance/internal/forkjoin"
+	"renaissance/internal/lin"
 	"renaissance/internal/metrics"
 )
 
 // This file implements the machine-learning kernels that Spark MLlib
 // provides to the paper's benchmarks: logistic regression, multinomial
-// naive Bayes, chi-square testing, decision trees, alternating least
-// squares, and PageRank. Each kernel is expressed with the RDD operations
-// above, so the data-parallel execution (partition tasks, shuffles,
-// tree-aggregation) matches the benchmarks' concurrency profile.
+// naive Bayes, chi-square testing, decision trees (alternating least
+// squares and PageRank live in als.go and graph.go). Each kernel packs
+// its input into the flat row-major layout of internal/lin once per call
+// and then runs chunked parallel-for passes on the shared work-stealing
+// executor, accumulating into flat per-chunk tables that merge in fixed
+// chunk order — so results are deterministic at any GOMAXPROCS. Chunk
+// boundaries mirror the input RDD's partition boundaries, preserving the
+// seed kernels' partition-ordered aggregation semantics.
 
 // LabeledPoint is a feature vector with a class label.
 type LabeledPoint struct {
@@ -27,57 +33,96 @@ var ErrBadInput = errors.New("rdd: inconsistent training data")
 // sigmoid is the logistic link function.
 func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
 
-// LogisticRegression fits binary logistic regression (labels 0/1) with
-// batch gradient descent, computing each gradient with a parallel
-// tree-aggregate over the points — the log-regression benchmark kernel.
-func LogisticRegression(points *RDD[LabeledPoint], iterations int, learningRate float64) ([]float64, error) {
-	first := points.Collect()
-	if len(first) == 0 {
-		return nil, ErrEmpty
+// packPoints collects the dataset into one flat row-major feature matrix
+// plus a label vector — the layout every kernel pass streams over. A
+// dimension-mismatched point is an error: the seed kernels silently
+// dropped such points inside the aggregator, skewing whatever statistic
+// was being accumulated.
+func packPoints(points *RDD[LabeledPoint]) (*lin.Mat, []int32, error) {
+	data := points.Collect()
+	if len(data) == 0 {
+		return nil, nil, ErrEmpty
 	}
-	dim := len(first[0].Features)
-	points.Cache()
+	dim := len(data[0].Features)
+	loc := metrics.Acquire()
+	loc.AddArray(2)
+	x := lin.NewMat(len(data), dim)
+	labels := make([]int32, len(data))
+	for i, p := range data {
+		if len(p.Features) != dim {
+			return nil, nil, fmt.Errorf("%w: point %d has %d features, want %d",
+				ErrBadInput, i, len(p.Features), dim)
+		}
+		copy(x.Row(i), p.Features)
+		labels[i] = int32(p.Label)
+	}
+	return x, labels, nil
+}
 
+// mlChunks mirrors the input's partition count so per-chunk accumulators
+// merge in the same grouping and order the seed's per-partition
+// Aggregate used.
+func mlChunks(points *RDD[LabeledPoint], n int) int {
+	parts := points.NumPartitions()
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	return parts
+}
+
+// LogisticRegression fits binary logistic regression (labels 0/1) with
+// batch gradient descent — the log-regression benchmark kernel. The
+// points are packed once into a flat feature matrix; each gradient pass
+// is a chunked parallel-for where chunk c folds rows
+// [c·n/parts, (c+1)·n/parts) into its own flat gradient row (one
+// unrolled Dot and one Axpy per point), and the per-chunk gradients
+// merge in chunk order. It returns ErrBadInput for dimension-mismatched
+// points, which the seed silently dropped from the gradient.
+func LogisticRegression(points *RDD[LabeledPoint], iterations int, learningRate float64) ([]float64, error) {
+	x, labels, err := packPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	n, dim := x.Rows, x.Cols
+	parts := mlChunks(points, n)
+	metrics.Acquire().AddArray(2)
+	// One gradient accumulator per chunk, rows padded onto disjoint
+	// cache lines (a bare dim-wide row is ~one line, so neighboring
+	// chunks would false-share on every point).
+	grads := lin.NewMat(parts, lin.PadStride(dim))
 	weights := make([]float64, dim)
-	n := float64(len(first))
 	for it := 0; it < iterations; it++ {
 		w := weights
-		grad := Aggregate(points,
-			func() []float64 { metrics.IncArray(); return make([]float64, dim) },
-			func(acc []float64, p LabeledPoint) []float64 {
-				if len(p.Features) != dim {
-					return acc
+		forkjoin.For(parts, 1, func(lo, hi int) {
+			loc := metrics.Acquire()
+			for c := lo; c < hi; c++ {
+				g := grads.Row(c)[:dim]
+				clear(g)
+				rlo, rhi := c*n/parts, (c+1)*n/parts
+				loc.AddIDynamic(int64(rhi - rlo))
+				for i := rlo; i < rhi; i++ {
+					row := x.Row(i)
+					e := sigmoid(lin.Dot(w, row)) - float64(labels[i])
+					lin.Axpy(e, row, g)
 				}
-				z := 0.0
-				for j, x := range p.Features {
-					z += w[j] * x
-				}
-				err := sigmoid(z) - float64(p.Label)
-				for j, x := range p.Features {
-					acc[j] += err * x
-				}
-				return acc
-			},
-			func(a, b []float64) []float64 {
-				for j := range a {
-					a[j] += b[j]
-				}
-				return a
-			})
-		for j := range weights {
-			weights[j] -= learningRate * grad[j] / n
+			}
+		})
+		// Merge in fixed chunk order, then descend.
+		g := grads.Row(0)[:dim]
+		for c := 1; c < parts; c++ {
+			lin.Axpy(1, grads.Row(c)[:dim], g)
 		}
+		lin.Axpy(-learningRate/float64(n), g, weights)
 	}
 	return weights, nil
 }
 
 // PredictLogistic returns the probability of class 1 for the features.
 func PredictLogistic(weights, features []float64) float64 {
-	z := 0.0
-	for j, x := range features {
-		z += weights[j] * x
-	}
-	return sigmoid(z)
+	return sigmoid(lin.Dot(weights, features))
 }
 
 // NaiveBayesModel is a fitted multinomial naive Bayes classifier.
@@ -87,47 +132,43 @@ type NaiveBayesModel struct {
 }
 
 // NaiveBayes fits a multinomial model with Laplace smoothing over
-// non-negative feature counts — the naive-bayes benchmark kernel.
+// non-negative feature counts — the naive-bayes benchmark kernel. Each
+// partition streams through the fused pipeline (no materialized copy)
+// into one flat table of numClasses×(numFeatures+1) floats (class count
+// in column 0, feature totals after), replacing the seed's per-partition
+// struct of nested slices; tables merge in partition order. Points with
+// an out-of-range label or feature count are skipped, as in the seed.
 func NaiveBayes(points *RDD[LabeledPoint], numClasses, numFeatures int) (*NaiveBayesModel, error) {
-	type acc struct {
-		classCounts   []float64
-		featureTotals [][]float64
-	}
-	zero := func() *acc {
-		metrics.IncObject()
-		a := &acc{
-			classCounts:   make([]float64, numClasses),
-			featureTotals: make([][]float64, numClasses),
-		}
-		for c := range a.featureTotals {
-			a.featureTotals[c] = make([]float64, numFeatures)
-		}
-		return a
-	}
-	res := Aggregate(points, zero,
-		func(a *acc, p LabeledPoint) *acc {
-			if p.Label < 0 || p.Label >= numClasses || len(p.Features) != numFeatures {
-				return a
-			}
-			a.classCounts[p.Label]++
-			for j, x := range p.Features {
-				a.featureTotals[p.Label][j] += x
-			}
-			return a
-		},
-		func(a, b *acc) *acc {
-			for c := range a.classCounts {
-				a.classCounts[c] += b.classCounts[c]
-				for j := range a.featureTotals[c] {
-					a.featureTotals[c][j] += b.featureTotals[c][j]
+	parts := points.NumPartitions()
+	stride := numFeatures + 1
+	width := numClasses * stride
+	metrics.Acquire().IncArray()
+	// Per-partition count tables, rows padded onto disjoint cache lines.
+	tab := lin.NewMat(parts, lin.PadStride(width))
+	forkjoin.For(parts, 1, func(lo, hi int) {
+		loc := metrics.Acquire()
+		for c := lo; c < hi; c++ {
+			acc := tab.Row(c)[:width]
+			points.run(c, func(p LabeledPoint) bool {
+				loc.IncIDynamic()
+				if p.Label < 0 || p.Label >= numClasses || len(p.Features) != numFeatures {
+					return true
 				}
-			}
-			return a
-		})
+				row := acc[p.Label*stride : (p.Label+1)*stride]
+				row[0]++
+				lin.Axpy(1, p.Features, row[1:])
+				return true
+			})
+		}
+	})
+	res := tab.Row(0)[:width]
+	for c := 1; c < parts; c++ {
+		lin.Axpy(1, tab.Row(c)[:width], res)
+	}
 
 	total := 0.0
-	for _, c := range res.classCounts {
-		total += c
+	for class := 0; class < numClasses; class++ {
+		total += res[class*stride]
 	}
 	if total == 0 {
 		return nil, ErrEmpty
@@ -137,13 +178,14 @@ func NaiveBayes(points *RDD[LabeledPoint], numClasses, numFeatures int) (*NaiveB
 		FeatureLogPr:  make([][]float64, numClasses),
 	}
 	for c := 0; c < numClasses; c++ {
-		m.ClassLogPrior[c] = math.Log((res.classCounts[c] + 1) / (total + float64(numClasses)))
+		row := res[c*stride : (c+1)*stride]
+		m.ClassLogPrior[c] = math.Log((row[0] + 1) / (total + float64(numClasses)))
 		m.FeatureLogPr[c] = make([]float64, numFeatures)
 		rowSum := 0.0
-		for _, v := range res.featureTotals[c] {
+		for _, v := range row[1:] {
 			rowSum += v
 		}
-		for j, v := range res.featureTotals[c] {
+		for j, v := range row[1:] {
 			m.FeatureLogPr[c][j] = math.Log((v + 1) / (rowSum + float64(numFeatures)))
 		}
 	}
@@ -154,10 +196,7 @@ func NaiveBayes(points *RDD[LabeledPoint], numClasses, numFeatures int) (*NaiveB
 func (m *NaiveBayesModel) Predict(features []float64) int {
 	best, bestScore := 0, math.Inf(-1)
 	for c := range m.ClassLogPrior {
-		score := m.ClassLogPrior[c]
-		for j, x := range features {
-			score += x * m.FeatureLogPr[c][j]
-		}
+		score := m.ClassLogPrior[c] + lin.Dot(features, m.FeatureLogPr[c])
 		if score > bestScore {
 			best, bestScore = c, score
 		}
@@ -168,57 +207,56 @@ func (m *NaiveBayesModel) Predict(features []float64) int {
 // ChiSquare computes the chi-square independence statistic of every
 // feature against the label over discretized features (values are bucketed
 // by floor) — the chi-square benchmark kernel. It returns one statistic
-// per feature.
+// per feature. Each partition streams through the fused pipeline into
+// one flat [feature][bucket][class] contingency array (the seed
+// allocated a three-level nested slice per partition), merged in
+// partition order.
 func ChiSquare(points *RDD[LabeledPoint], numClasses, numFeatures, numBuckets int) []float64 {
-	// Contingency tables: [feature][bucket][class] counts.
-	type tables [][][]float64
-	zero := func() tables {
-		metrics.IncObject()
-		t := make(tables, numFeatures)
-		for f := range t {
-			t[f] = make([][]float64, numBuckets)
-			for b := range t[f] {
-				t[f][b] = make([]float64, numClasses)
-			}
-		}
-		return t
-	}
-	res := Aggregate(points, zero,
-		func(t tables, p LabeledPoint) tables {
-			if p.Label < 0 || p.Label >= numClasses {
-				return t
-			}
-			for f := 0; f < numFeatures && f < len(p.Features); f++ {
-				b := int(p.Features[f])
-				if b < 0 {
-					b = 0
+	parts := points.NumPartitions()
+	stride := numBuckets * numClasses // one feature's table
+	width := numFeatures * stride
+	metrics.Acquire().IncArray()
+	// Per-partition tables, rows padded onto disjoint cache lines.
+	tab := lin.NewMat(parts, lin.PadStride(width))
+	forkjoin.For(parts, 1, func(lo, hi int) {
+		loc := metrics.Acquire()
+		for c := lo; c < hi; c++ {
+			acc := tab.Row(c)[:width]
+			points.run(c, func(p LabeledPoint) bool {
+				loc.IncIDynamic()
+				if p.Label < 0 || p.Label >= numClasses {
+					return true
 				}
-				if b >= numBuckets {
-					b = numBuckets - 1
-				}
-				t[f][b][p.Label]++
-			}
-			return t
-		},
-		func(a, b tables) tables {
-			for f := range a {
-				for bk := range a[f] {
-					for c := range a[f][bk] {
-						a[f][bk][c] += b[f][bk][c]
+				for f := 0; f < numFeatures && f < len(p.Features); f++ {
+					b := int(p.Features[f])
+					if b < 0 {
+						b = 0
 					}
+					if b >= numBuckets {
+						b = numBuckets - 1
+					}
+					acc[f*stride+b*numClasses+p.Label]++
 				}
-			}
-			return a
-		})
+				return true
+			})
+		}
+	})
+	res := tab.Row(0)[:width]
+	for c := 1; c < parts; c++ {
+		lin.Axpy(1, tab.Row(c)[:width], res)
+	}
 
 	stats := make([]float64, numFeatures)
+	rowTotals := make([]float64, numBuckets)
+	colTotals := make([]float64, numClasses)
 	for f := 0; f < numFeatures; f++ {
-		rowTotals := make([]float64, numBuckets)
-		colTotals := make([]float64, numClasses)
+		ft := res[f*stride : (f+1)*stride]
+		clear(rowTotals)
+		clear(colTotals)
 		grand := 0.0
 		for b := 0; b < numBuckets; b++ {
 			for c := 0; c < numClasses; c++ {
-				v := res[f][b][c]
+				v := ft[b*numClasses+c]
 				rowTotals[b] += v
 				colTotals[c] += v
 				grand += v
@@ -232,7 +270,7 @@ func ChiSquare(points *RDD[LabeledPoint], numClasses, numFeatures, numBuckets in
 			for c := 0; c < numClasses; c++ {
 				expected := rowTotals[b] * colTotals[c] / grand
 				if expected > 0 {
-					d := res[f][b][c] - expected
+					d := ft[b*numClasses+c] - expected
 					chi += d * d / expected
 				}
 			}
@@ -279,26 +317,50 @@ func (n *TreeNode) Depth() int {
 
 // DecisionTree fits a CART-style classification tree: at every node the
 // Gini-best (feature, threshold) split is selected from per-feature
-// histograms computed with a parallel aggregate over the node's points —
-// the dec-tree benchmark kernel.
+// histograms computed in parallel over the features — the dec-tree
+// benchmark kernel. The points are packed once into a flat row-major
+// feature matrix; tree nodes then work on index subsets, so a split
+// partitions two int32 index slices instead of copying LabeledPoint
+// structs, and every histogram fill walks one flat column-strided array.
 func DecisionTree(points *RDD[LabeledPoint], numClasses, maxDepth, minLeaf int) (*TreeNode, error) {
-	data := points.Collect()
-	if len(data) == 0 {
-		return nil, ErrEmpty
+	x, labels, err := packPoints(points)
+	if err != nil {
+		return nil, err
 	}
 	if minLeaf < 1 {
 		minLeaf = 1
 	}
-	return growTree(data, numClasses, maxDepth, minLeaf), nil
+	metrics.IncArray()
+	idx := make([]int32, x.Rows)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	t := &treeBuilder{x: x, labels: labels, numClasses: numClasses, minLeaf: minLeaf}
+	return t.grow(idx, maxDepth), nil
 }
 
 const treeHistogramBins = 16
 
-func growTree(data []LabeledPoint, numClasses, depth, minLeaf int) *TreeNode {
-	counts := make([]int, numClasses)
-	for _, p := range data {
-		if p.Label >= 0 && p.Label < numClasses {
-			counts[p.Label]++
+// treeBuilder carries the flat training set through the recursion.
+type treeBuilder struct {
+	x          *lin.Mat
+	labels     []int32
+	numClasses int
+	minLeaf    int
+}
+
+// split is one feature's best histogram split.
+type split struct {
+	gini      float64
+	feature   int
+	threshold float64
+}
+
+func (t *treeBuilder) grow(idx []int32, depth int) *TreeNode {
+	counts := make([]int, t.numClasses)
+	for _, i := range idx {
+		if l := int(t.labels[i]); l >= 0 && l < t.numClasses {
+			counts[l]++
 		}
 	}
 	majority, best := 0, -1
@@ -307,85 +369,31 @@ func growTree(data []LabeledPoint, numClasses, depth, minLeaf int) *TreeNode {
 		if n > best {
 			majority, best = c, n
 		}
-		if n != 0 && n != len(data) {
+		if n != 0 && n != len(idx) {
 			pure = false
 		}
 	}
-	if depth <= 1 || pure || len(data) < 2*minLeaf {
+	if depth <= 1 || pure || len(idx) < 2*t.minLeaf {
 		metrics.IncObject()
 		return &TreeNode{Prediction: majority}
 	}
 
-	numFeatures := len(data[0].Features)
+	numFeatures := t.x.Cols
+	// Histogram split search, parallel per feature on the shared
+	// work-stealing executor (the data-parallel inner loop of MLlib's
+	// tree trainer). Results land in a fixed per-feature slot, so the
+	// arg-min below is deterministic.
+	metrics.IncArray()
+	results := make([]split, numFeatures)
+	forkjoin.For(numFeatures, 1, func(flo, fhi int) {
+		loc := metrics.Acquire()
+		for f := flo; f < fhi; f++ {
+			loc.IncIDynamic()
+			results[f] = t.bestSplit(idx, f, counts)
+		}
+	})
 	bestGini := math.Inf(1)
 	bestFeature, bestThreshold := -1, 0.0
-
-	// Histogram split search per feature, computed in parallel over
-	// feature chunks (the data-parallel inner loop of MLlib's tree
-	// trainer).
-	type split struct {
-		gini      float64
-		feature   int
-		threshold float64
-	}
-	featureIdx := make([]int, numFeatures)
-	for i := range featureIdx {
-		featureIdx[i] = i
-	}
-	results := parMapSlice(featureIdx, func(f int) split {
-		lo, hi := math.Inf(1), math.Inf(-1)
-		for _, p := range data {
-			v := p.Features[f]
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
-			}
-		}
-		if hi <= lo {
-			return split{gini: math.Inf(1)}
-		}
-		// Class histogram per bin.
-		var hist [treeHistogramBins][]int
-		for b := range hist {
-			hist[b] = make([]int, numClasses)
-		}
-		binWidth := (hi - lo) / treeHistogramBins
-		for _, p := range data {
-			b := int((p.Features[f] - lo) / binWidth)
-			if b >= treeHistogramBins {
-				b = treeHistogramBins - 1
-			}
-			hist[b][p.Label]++
-		}
-		bestLocal := split{gini: math.Inf(1)}
-		leftCounts := make([]int, numClasses)
-		leftN := 0
-		total := len(data)
-		for b := 0; b < treeHistogramBins-1; b++ {
-			for c, n := range hist[b] {
-				leftCounts[c] += n
-				leftN += n
-			}
-			rightN := total - leftN
-			if leftN == 0 || rightN == 0 {
-				continue
-			}
-			gl, gr := 1.0, 1.0
-			for c := 0; c < numClasses; c++ {
-				pl := float64(leftCounts[c]) / float64(leftN)
-				pr := float64(counts[c]-leftCounts[c]) / float64(rightN)
-				gl -= pl * pl
-				gr -= pr * pr
-			}
-			weighted := (float64(leftN)*gl + float64(rightN)*gr) / float64(total)
-			if weighted < bestLocal.gini {
-				bestLocal = split{weighted, f, lo + binWidth*float64(b+1)}
-			}
-		}
-		return bestLocal
-	})
 	for _, s := range results {
 		if s.gini < bestGini {
 			bestGini, bestFeature, bestThreshold = s.gini, s.feature, s.threshold
@@ -397,15 +405,16 @@ func growTree(data []LabeledPoint, numClasses, depth, minLeaf int) *TreeNode {
 	}
 
 	metrics.IncArray()
-	var left, right []LabeledPoint
-	for _, p := range data {
-		if p.Features[bestFeature] <= bestThreshold {
-			left = append(left, p)
+	left := make([]int32, 0, len(idx))
+	right := make([]int32, 0, len(idx))
+	for _, i := range idx {
+		if t.x.At(int(i), bestFeature) <= bestThreshold {
+			left = append(left, i)
 		} else {
-			right = append(right, p)
+			right = append(right, i)
 		}
 	}
-	if len(left) < minLeaf || len(right) < minLeaf {
+	if len(left) < t.minLeaf || len(right) < t.minLeaf {
 		metrics.IncObject()
 		return &TreeNode{Prediction: majority}
 	}
@@ -413,14 +422,86 @@ func growTree(data []LabeledPoint, numClasses, depth, minLeaf int) *TreeNode {
 	return &TreeNode{
 		Feature:   bestFeature,
 		Threshold: bestThreshold,
-		Left:      growTree(left, numClasses, depth-1, minLeaf),
-		Right:     growTree(right, numClasses, depth-1, minLeaf),
+		Left:      t.grow(left, depth-1),
+		Right:     t.grow(right, depth-1),
 	}
+}
+
+// bestSplit scans feature f over the node's points: one pass for the
+// range, one histogram fill into a flat [bin][class] table, then the
+// Gini sweep over bin boundaries — the same arithmetic as the seed, over
+// flat storage.
+func (t *treeBuilder) bestSplit(idx []int32, f int, counts []int) split {
+	nc := t.numClasses
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, i := range idx {
+		v := t.x.At(int(i), f)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi <= lo {
+		return split{gini: math.Inf(1)}
+	}
+	var hist [treeHistogramBins * 8]int32 // flat [bin][class], stack-backed for nc <= 8
+	h := hist[:]
+	if nc > 8 {
+		h = make([]int32, treeHistogramBins*nc)
+	} else {
+		h = h[:treeHistogramBins*nc]
+		clear(h)
+	}
+	binWidth := (hi - lo) / treeHistogramBins
+	for _, i := range idx {
+		b := int((t.x.At(int(i), f) - lo) / binWidth)
+		if b >= treeHistogramBins {
+			b = treeHistogramBins - 1
+		}
+		h[b*nc+int(t.labels[i])]++
+	}
+	bestLocal := split{gini: math.Inf(1)}
+	var leftCounts [8]int
+	lc := leftCounts[:]
+	if nc > 8 {
+		lc = make([]int, nc)
+	} else {
+		lc = lc[:nc]
+		clear(lc)
+	}
+	leftN := 0
+	total := len(idx)
+	for b := 0; b < treeHistogramBins-1; b++ {
+		for c := 0; c < nc; c++ {
+			lc[c] += int(h[b*nc+c])
+			leftN += int(h[b*nc+c])
+		}
+		rightN := total - leftN
+		if leftN == 0 || rightN == 0 {
+			continue
+		}
+		gl, gr := 1.0, 1.0
+		for c := 0; c < nc; c++ {
+			pl := float64(lc[c]) / float64(leftN)
+			pr := float64(counts[c]-lc[c]) / float64(rightN)
+			gl -= pl * pl
+			gr -= pr * pr
+		}
+		weighted := (float64(leftN)*gl + float64(rightN)*gr) / float64(total)
+		if weighted < bestLocal.gini {
+			bestLocal = split{weighted, f, lo + binWidth*float64(b+1)}
+		}
+	}
+	return bestLocal
 }
 
 // parMapSlice evaluates fn over xs on the shared work-stealing executor,
 // one chunk per element (element counts here are small and elements
-// coarse: features, users).
+// coarse: features, users). The live kernels now use forkjoin.For
+// directly over flat storage; this helper remains for the seed-kernel
+// baselines kept verbatim in the differential tests.
 func parMapSlice[T any, U any](xs []T, fn func(T) U) []U {
 	out := make([]U, len(xs))
 	forkjoin.For(len(xs), 1, func(lo, hi int) {

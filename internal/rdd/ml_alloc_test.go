@@ -1,0 +1,61 @@
+package rdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Steady-state allocation guards for the hot ML iterations. The flat
+// kernels' working set (factor matrices, rank accumulators, scratch) is
+// allocated once per training run and pooled, so a steady-state
+// iteration's only allocations are the fixed fork–join overhead of its
+// parallel-for calls (measured: 12 per iteration — parJob, done channel,
+// helper tasks). The bound below leaves headroom for executors with more
+// workers while still catching any per-row or per-edge allocation
+// sneaking back in (the seed kernels allocated per rating map entry and
+// per edge contribution pair — thousands per iteration at these sizes).
+const mlIterAllocBound = 48
+
+// TestALSIterationAllocs pins the allocations of one full alternating
+// iteration (both solveFactors passes) over a pre-built graph.
+func TestALSIterationAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	rng := rand.New(rand.NewSource(17))
+	g := NewRatingsGraph(syntheticRatings(rng, 60, 40, 4))
+	model, err := ALSTrain(g, 4, 1, 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		solveFactors(g.byUser, model.Users, model.Items, 0.01)
+		solveFactors(g.byItem, model.Items, model.Users, 0.01)
+	})
+	if allocs > mlIterAllocBound {
+		t.Fatalf("ALS iteration allocated %.1f objects, want <= %d", allocs, mlIterAllocBound)
+	}
+}
+
+// TestPageRankIterationAllocs pins the allocations of one rank
+// propagation step over a pre-built CSR graph and reused prState.
+func TestPageRankIterationAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	rng := rand.New(rand.NewSource(19))
+	const n = 600
+	var edges []Pair[int, int]
+	for v := 0; v < n; v++ {
+		edges = append(edges, KV(v, (v+1)%n))
+		for k := 0; k < 3; k++ {
+			edges = append(edges, KV(v, rng.Intn(v/4+1)))
+		}
+	}
+	st := NewGraph(edges).newPRState(0.85)
+	st.step() // warm
+	allocs := testing.AllocsPerRun(20, func() { st.step() })
+	if allocs > mlIterAllocBound {
+		t.Fatalf("PageRank step allocated %.1f objects, want <= %d", allocs, mlIterAllocBound)
+	}
+}

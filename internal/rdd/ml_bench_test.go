@@ -1,0 +1,182 @@
+package rdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Seed-vs-lin benchmark pairs for every ML kernel the flat-memory layer
+// replaced, at the spark-family benchmarks' scale-1.0 sizes. The "seed"
+// sub-benchmarks run the verbatim baselines from seedml_test.go
+// (including their per-call grouping, exactly as the seed benchmark
+// iterations paid for it); the "lin" sub-benchmarks run the live kernels
+// over pre-built graphs, matching what a benchmark iteration now
+// measures. `make bench` records these at -cpu 1,2,4,8 into BENCH_ml.txt.
+
+func benchRatings() []Rating {
+	rng := rand.New(rand.NewSource(7))
+	return syntheticRatings(rng, 60, 40, 4)
+}
+
+func BenchmarkMLALS(b *testing.B) {
+	ratings := benchRatings()
+	rdd := Parallelize(ratings, 8)
+	b.Run("seed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := seedALS(rdd, 4, 8, 0.01, 7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lin", func(b *testing.B) {
+		g := NewRatingsGraph(ratings)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ALSTrain(g, 4, 8, 0.01, 7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func benchEdges() []Pair[int, int] {
+	rng := rand.New(rand.NewSource(9))
+	const n = 600
+	var edges []Pair[int, int]
+	for v := 0; v < n; v++ {
+		edges = append(edges, KV(v, (v+1)%n))
+		for k := 0; k < 3; k++ {
+			edges = append(edges, KV(v, rng.Intn(v/4+1)))
+		}
+	}
+	return edges
+}
+
+func BenchmarkMLPageRank(b *testing.B) {
+	edges := benchEdges()
+	rdd := Parallelize(edges, 8)
+	b.Run("seed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seedPageRank(rdd, 10, 0.85)
+		}
+	})
+	b.Run("lin", func(b *testing.B) {
+		g := NewGraph(edges)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.PageRank(10, 0.85)
+		}
+	})
+}
+
+func BenchmarkMLLogReg(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	pts := Parallelize(syntheticLabeled(rng, 4000, 10), 8)
+	b.Run("seed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := seedLogisticRegression(pts, 40, 1.0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lin", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := LogisticRegression(pts, 40, 1.0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkMLNaiveBayes(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	const n, dim, classes = 5000, 16, 3
+	raw := make([]LabeledPoint, n)
+	for i := range raw {
+		label := i % classes
+		f := make([]float64, dim)
+		for j := range f {
+			base := 1.0
+			if j%classes == label {
+				base = 6.0
+			}
+			f[j] = base + float64(rng.Intn(3))
+		}
+		raw[i] = LabeledPoint{Features: f, Label: label}
+	}
+	pts := Parallelize(raw, 8)
+	b.Run("seed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := seedNaiveBayes(pts, classes, dim); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lin", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := NaiveBayes(pts, classes, dim); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkMLChiSquare(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	const n, dim = 4000, 12
+	raw := make([]LabeledPoint, n)
+	for i := range raw {
+		label := i % 2
+		f := make([]float64, dim)
+		f[0] = float64(label)
+		if rng.Float64() < 0.1 {
+			f[0] = float64(1 - label)
+		}
+		for j := 1; j < dim; j++ {
+			f[j] = float64(rng.Intn(4))
+		}
+		raw[i] = LabeledPoint{Features: f, Label: label}
+	}
+	pts := Parallelize(raw, 8)
+	b.Run("seed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seedChiSquare(pts, 2, dim, 4)
+		}
+	})
+	b.Run("lin", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ChiSquare(pts, 2, dim, 4)
+		}
+	})
+}
+
+func BenchmarkMLDecTree(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	pts := Parallelize(syntheticLabeled(rng, 3000, 8), 8)
+	b.Run("seed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := seedDecisionTree(pts, 2, 6, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lin", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DecisionTree(pts, 2, 6, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

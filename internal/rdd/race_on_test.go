@@ -1,0 +1,8 @@
+//go:build race
+
+package rdd
+
+// raceEnabled reports whether the race detector is compiled in. Alloc
+// and timing-sensitive regression tests skip under -race: instrumented
+// builds allocate shadow state that would trip testing.AllocsPerRun.
+const raceEnabled = true

@@ -18,8 +18,11 @@ RACE_PKGS = ./internal/metrics ./internal/forkjoin ./internal/stm ./internal/cor
 # execution over the random bytecode corpus) rides along so the
 # interpreter tiers stay bit-identical under the race detector too, as
 # does the STM adversarial suite (lost-wakeup, opacity, timestamp
-# extension differential vs a global-lock reference).
-STRESS_RUN = 'Close|Drain|Timeout|Race|Racing|Panic|Retry|Fault|Discard|Exchange|Executor|Fused|Nested|Quiesce|Flood|Steal|Registry|Scheduler|Queue|Mailbox|Ask|Restart|Resume|Escalation|DeadLetter|Breaker|Shed|Tier|Quicken|Admission|Backoff|Concurrent|Outstanding|Opacity|Wakeup|Extension|Differential|Cholesky'
+# extension differential vs a global-lock reference) and the RDD lineage
+# recovery suite (recompute vs concurrent actions on a shared cache,
+# retry-budget exhaustion, shuffle epoch retries, speculative-duplicate
+# suppression, checkpoint truncation).
+STRESS_RUN = 'Close|Drain|Timeout|Race|Racing|Panic|Retry|Fault|Discard|Exchange|Executor|Fused|Nested|Quiesce|Flood|Steal|Registry|Scheduler|Queue|Mailbox|Ask|Restart|Resume|Escalation|DeadLetter|Breaker|Shed|Tier|Quicken|Admission|Backoff|Concurrent|Outstanding|Opacity|Wakeup|Extension|Differential|Cholesky|Recompute|Speculative|Epoch|Checkpoint|Budget|Lineage'
 STRESS_PKGS = ./internal/core ./internal/netstack ./internal/futures ./internal/rdd ./internal/forkjoin ./internal/actors ./internal/rx ./internal/mpsc ./internal/streams ./internal/rvm ./internal/rvm/opt ./internal/hdr ./internal/loadgen ./internal/stm
 
 .PHONY: check vet build test race stress chaos bench bench-all bench-ci bench-contention analyze
@@ -55,7 +58,7 @@ chaos:
 		echo "== chaos sweep: seed=$$seed rate=$(CHAOS_RATE) =="; \
 		$(GO) run $(CHAOS_RACE) ./cmd/renaissance run -suite renaissance \
 			-size 0.1 -warmup 1 -measured 1 -timeout 30s -retries 1 \
-			-chaos.seed $$seed -chaos.rate $(CHAOS_RATE); \
+			-chaos.seed $$seed -chaos.rate $(CHAOS_RATE) -chaos.stats; \
 		code=$$?; \
 		if [ $$code -gt 1 ]; then \
 			echo "chaos sweep crashed (exit $$code) at seed $$seed"; exit $$code; \
@@ -75,7 +78,7 @@ bench-contention:
 # EXPERIMENTS.md "Data-parallel engine"). Output is teed to BENCH_*.txt
 # so runs can be diffed with benchstat-style tooling.
 bench:
-	$(GO) test -run '^$$' -bench 'FusedVsMaterialized|LockedVsExchange' -benchmem -cpu 1,2,4,8 ./internal/rdd | tee BENCH_rdd.txt
+	$(GO) test -run '^$$' -bench 'FusedVsMaterialized|LockedVsExchange|RecoveryOverhead' -benchmem -cpu 1,2,4,8 ./internal/rdd | tee BENCH_rdd.txt
 	$(GO) test -run '^$$' -bench 'FanOut' -benchmem -cpu 1,2,4,8 ./internal/forkjoin | tee BENCH_forkjoin.txt
 	$(GO) test -run '^$$' -bench 'ActorPingPong|ActorFanIn|ActorSpawnStorm|ActorAsk' -benchmem -cpu 1,2,4,8 ./internal/actors | tee BENCH_actors.txt
 	$(GO) test -run '^$$' -bench 'Dispatch|InlineCache|ArrayLoop' -benchmem -cpu 1 ./internal/rvm | tee BENCH_rvm.txt
@@ -85,7 +88,7 @@ bench:
 # One-iteration smoke pass over the engine benchmarks for CI: proves they
 # still compile and run without paying full measurement time.
 bench-ci:
-	$(GO) test -run '^$$' -bench 'FusedVsMaterialized|LockedVsExchange|FanOut' -benchtime 1x -benchmem ./internal/rdd ./internal/forkjoin
+	$(GO) test -run '^$$' -bench 'FusedVsMaterialized|LockedVsExchange|RecoveryOverhead|FanOut' -benchtime 1x -benchmem ./internal/rdd ./internal/forkjoin
 	$(GO) test -run '^$$' -bench 'ActorPingPong|ActorFanIn|ActorSpawnStorm|ActorAsk' -benchtime 1x -benchmem ./internal/actors
 	$(GO) test -run '^$$' -bench 'Dispatch|InlineCache|ArrayLoop' -benchtime 1x -benchmem -cpu 1 ./internal/rvm
 	$(GO) test -run '^$$' -bench 'CommitNoWaiters|RetryWakeup|ReadOnlyTraversal|PhilosophersE2E|STMBench7E2E' -benchtime 1x -benchmem ./internal/stm

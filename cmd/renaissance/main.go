@@ -7,7 +7,8 @@
 //	renaissance list [-suite name]
 //	renaissance run [-suite name] [-bench name] [-size f] [-warmup n] [-measured n]
 //	                [-timeout d] [-retries n] [-fault spec]
-//	                [-chaos.seed n] [-chaos.rate f] [-json]
+//	                [-chaos.seed n] [-chaos.rate f] [-chaos.stats] [-json]
+//	                [-rdd.retries n] [-rdd.speculate]
 //	                [-rvm.tier auto|0|1] [-rvm.profile]
 //	                [-openloop.rate r] [-openloop.sweep r1,r2,...] [-openloop.duration d]
 //	renaissance metrics
@@ -18,6 +19,12 @@
 // seeded Poisson schedule (deterministic per -chaos.seed), latency is
 // measured from intended send times into HDR histograms, and a sweep
 // reports the saturation knee where p99 diverges from p50.
+//
+// The RDD engine recovers from partition faults by lineage recompute:
+// -rdd.retries bounds the per-partition recompute budget, -rdd.speculate
+// enables straggler speculation, and -chaos.stats dumps each chaos
+// point's trial/fire counts after the run so a chaos sweep's coverage is
+// auditable.
 //
 // Runs degrade gracefully: a benchmark that fails, panics, or exceeds its
 // deadline is recorded with its status and the sweep continues; the exit
@@ -30,6 +37,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -39,6 +47,7 @@ import (
 	"renaissance/internal/core"
 	"renaissance/internal/loadgen"
 	"renaissance/internal/metrics"
+	"renaissance/internal/rdd"
 	"renaissance/internal/report"
 	"renaissance/internal/rvm"
 	"renaissance/internal/stats"
@@ -77,7 +86,8 @@ func usage() {
   renaissance list [-suite name]
   renaissance run [-suite name] [-bench name] [-size f] [-warmup n] [-measured n]
                   [-timeout d] [-retries n] [-fault spec]
-                  [-chaos.seed n] [-chaos.rate f] [-json]
+                  [-chaos.seed n] [-chaos.rate f] [-chaos.stats] [-json]
+                  [-rdd.retries n] [-rdd.speculate]
                   [-rvm.tier auto|0|1] [-rvm.profile]
                   [-openloop.rate r] [-openloop.sweep r1,r2,...] [-openloop.duration d]
   renaissance metrics`)
@@ -168,6 +178,9 @@ func cmdRun(args []string) error {
 	retries := fs.Int("retries", 0, "re-run a failed (error/timeout/panic) benchmark up to n times")
 	chaosSeed := fs.Int64("chaos.seed", 1, "chaos injection seed (deterministic per seed)")
 	chaosRate := fs.Float64("chaos.rate", 0, "chaos injection rate in [0,1); 0 disables injection")
+	chaosStats := fs.Bool("chaos.stats", false, "dump per-point chaos trial/fire counts to stderr after the run")
+	rddRetries := fs.Int("rdd.retries", -1, "RDD per-partition recompute budget (extra attempts after the first; -1 = engine default)")
+	rddSpec := fs.Bool("rdd.speculate", false, "enable RDD straggler speculation (speculative duplicates of slow partitions)")
 	var faults faultFlags
 	fs.Var(&faults, "fault", "inject a fault: kind[:benchmark[:iteration]], kind = delay=DUR | error[=msg] | panic[=msg] (repeatable)")
 	asJSON := fs.Bool("json", false, "emit JSON results")
@@ -212,6 +225,12 @@ func cmdRun(args []string) error {
 		chaos.Configure(*chaosSeed, *chaosRate)
 		fmt.Fprintf(os.Stderr, "renaissance: chaos enabled: seed=%d rate=%g\n",
 			chaos.Seed(), chaos.Rate())
+	}
+	if *rddRetries >= 0 {
+		rdd.SetTaskRetries(*rddRetries)
+	}
+	if *rddSpec {
+		rdd.SetSpeculation(true)
 	}
 
 	var specs []*core.Spec
@@ -268,6 +287,11 @@ func cmdRun(args []string) error {
 	}
 	tally := core.TallyResults(results)
 	fmt.Fprintf(os.Stderr, "renaissance: %d benchmarks: %s\n", tally.Total(), tally)
+	if *chaosStats {
+		if err := writeChaosStats(os.Stderr); err != nil {
+			return err
+		}
+	}
 	if !tally.AllOK() {
 		return fmt.Errorf("%d of %d benchmarks did not complete cleanly",
 			tally.Total()-tally.OK, tally.Total())
@@ -381,6 +405,23 @@ func runOpenLoop(specs []*core.Spec, cfg core.Config, rates []float64, dur time.
 	return nil
 }
 
+// writeChaosStats renders every chaos point's trial and fire counts — the
+// -chaos.stats audit trail showing which injection points a sweep actually
+// exercised (a recovery point with zero trials means the sweep never
+// reached that code path).
+func writeChaosStats(w io.Writer) error {
+	stats := chaos.Stats()
+	if len(stats) == 0 {
+		fmt.Fprintln(w, "renaissance: chaos stats: no points exercised")
+		return nil
+	}
+	t := &report.Table{Title: "chaos points", Headers: []string{"point", "trials", "fires"}}
+	for _, p := range stats {
+		t.AddRow(p.Name, strconv.FormatInt(p.Trials, 10), strconv.FormatInt(p.Fires, 10))
+	}
+	return t.Write(w)
+}
+
 // firstLine trims a (possibly multi-line, stack-bearing) error message for
 // the per-benchmark progress log; the full text stays in the JSON result.
 func firstLine(s string) string {
@@ -404,8 +445,10 @@ func cmdMetrics() error {
 		metrics.Method:     "dynamically dispatched calls",
 		metrics.IDynamic:   "closure dispatches (invokedynamic analogues)",
 		metrics.DeadLetter: "undeliverable messages and shed requests (fault path)",
-		metrics.StmAbort:   "STM transaction aborts (conflicts and contention)",
-		metrics.StmExtend:  "STM read-version timestamp extensions",
+		metrics.StmAbort:     "STM transaction aborts (conflicts and contention)",
+		metrics.StmExtend:    "STM read-version timestamp extensions",
+		metrics.RddRecompute: "RDD partition recomputes (lineage recovery, fault path)",
+		metrics.RddSpec:      "RDD speculative straggler duplicates launched",
 	}
 	t := &report.Table{Title: "Table 2: characterizing metrics", Headers: []string{"name", "description"}}
 	for _, m := range metrics.AllMetrics() {

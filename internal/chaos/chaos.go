@@ -1,8 +1,9 @@
 // Package chaos is the process-wide fault-injection engine: a seeded,
 // rate-configurable registry of named injection points compiled into the
 // concurrency substrates (actor mailbox delivery, fork-join chunk claiming
-// and deque stealing, the RDD shuffle exchange, netstack reads and writes,
-// STM commits). It generalizes the harness-level core.FaultInjector — which
+// and deque stealing, the RDD engine's partition tasks, recomputes, and
+// shuffle exchange — rdd.task, rdd.recompute, rdd.shuffle — netstack reads
+// and writes, STM commits). It generalizes the harness-level core.FaultInjector — which
 // injects faults between benchmark iterations — down to the substrate
 // level, so the fault *domains* built into each substrate (supervision,
 // TaskError propagation, retry/breaker policies) are exercised under
@@ -26,7 +27,6 @@
 package chaos
 
 import (
-	"hash/maphash"
 	"math"
 	"sort"
 	"sync"
@@ -42,8 +42,7 @@ var (
 	seed     atomic.Int64
 	rateBits atomic.Uint64 // math.Float64bits of the global rate
 
-	points   sync.Map // string -> *point
-	nameSeed = maphash.MakeSeed()
+	points sync.Map // string -> *point
 )
 
 // point is the per-injection-point state: a trial counter driving the
@@ -117,9 +116,22 @@ func pointFor(name string) *point {
 	if v, ok := points.Load(name); ok {
 		return v.(*point)
 	}
-	p := &point{name: name, hash: maphash.String(nameSeed, name)}
+	p := &point{name: name, hash: nameHash(name)}
 	v, _ := points.LoadOrStore(name, p)
 	return v.(*point)
+}
+
+// nameHash is FNV-1a over the point name: process-independent, so a
+// pinned -chaos.seed reproduces the same decision stream across runs of
+// the binary (maphash's per-process random seed broke that promise —
+// two runs with identical flags could fire at different trials).
+func nameHash(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // splitmix64 is the decision mixer: full-avalanche, so consecutive trial

@@ -85,6 +85,13 @@ type Result struct {
 	// Attempts is how many times the run executed (1 plus retries used);
 	// omitted from JSON for single-attempt runs.
 	Attempts int `json:"attempts,omitempty"`
+	// Recomputes counts RDD partition recomputes over the measured phase
+	// (the lineage recovery engine re-running a failed partition); zero —
+	// and omitted — in fault-free runs.
+	Recomputes int64 `json:"rddRecomputes,omitempty"`
+	// Speculations counts speculative straggler duplicates launched over
+	// the measured phase; zero unless -rdd.speculate is on.
+	Speculations int64 `json:"rddSpeculations,omitempty"`
 }
 
 // MeanMillis returns the mean steady-state iteration time in milliseconds.
@@ -280,14 +287,23 @@ func (r *Runner) runSpec(spec *Spec) (*Result, error) {
 		}
 	}
 
+	recordRecovery := func() {
+		if res.Profile == nil {
+			return
+		}
+		res.Recomputes = res.Profile.Counts.Get(metrics.RddRecompute)
+		res.Speculations = res.Profile.Counts.Get(metrics.RddSpec)
+	}
 	prof := metrics.StartProfile(spec.Suite, spec.Name)
 	for i := 0; i < measured; i++ {
 		if err := runOne(i, false); err != nil {
 			res.Profile = prof.Stop()
+			recordRecovery()
 			return fail("iteration", err)
 		}
 	}
 	res.Profile = prof.Stop()
+	recordRecovery()
 	if hasLatency {
 		res.Latency = SummarizeLatency(lr.LatencyHistogram())
 	}
@@ -328,6 +344,11 @@ type Tally struct {
 	// Retried counts results that needed more than one attempt, whatever
 	// their final status.
 	Retried int
+	// Recomputes and Speculations total the RDD recovery engine's
+	// partition recomputes and speculative duplicates across the result
+	// set — nonzero only under fault injection or -rdd.speculate.
+	Recomputes   int64
+	Speculations int64
 }
 
 // TallyResults tallies the statuses of a result set.
@@ -347,6 +368,8 @@ func TallyResults(results []*Result) Tally {
 		if res.Attempts > 1 {
 			t.Retried++
 		}
+		t.Recomputes += res.Recomputes
+		t.Speculations += res.Speculations
 	}
 	return t
 }
@@ -365,6 +388,12 @@ func (t Tally) String() string {
 		t.OK, t.Errors, t.Timeouts, t.Panics)
 	if t.Retried > 0 {
 		s += fmt.Sprintf(" (%d retried)", t.Retried)
+	}
+	if t.Recomputes > 0 {
+		s += fmt.Sprintf(" (%d recomputed)", t.Recomputes)
+	}
+	if t.Speculations > 0 {
+		s += fmt.Sprintf(" (%d speculated)", t.Speculations)
 	}
 	return s
 }

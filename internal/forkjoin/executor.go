@@ -158,6 +158,21 @@ func (p *Pool) ForMaxE(n, grain, maxPar int, body func(lo, hi int)) error {
 	return nil
 }
 
+// Help submits fn as a completion-quiet helper task: it runs on a pool
+// worker when one frees up, nobody joins it, and a full queue or closed
+// pool drops it (returning false). Engine-level schedulers that manage
+// their own completion barriers — the RDD recovery engine's partition
+// jobs and speculative straggler duplicates — use Help for opportunistic
+// parallelism the same way ForMaxE uses its internal helpers: correctness
+// must never depend on the helper running, and the caller must be
+// prepared to do the work itself when Help returns false.
+func (p *Pool) Help(fn func()) bool {
+	return p.trySubmit(func(w *Worker) any {
+		fn()
+		return nil
+	})
+}
+
 // trySubmit enqueues a task without ever blocking: a full submission
 // queue or a closed pool drops the task. Used for the optional For
 // helpers, which are pure parallelism hints — correctness never depends

@@ -69,6 +69,15 @@ const (
 	// would have aborted the transaction under plain TL2 but instead
 	// revalidated the read set against a newer clock and continued.
 	StmExtend
+	// RddRecompute extends Table 2 with the RDD engine's recovery counter:
+	// partition recomputes — a partition attempt that failed (panic,
+	// TaskError, or injected chaos fault) and was re-evaluated from its
+	// lineage. Zero on a fault-free run.
+	RddRecompute
+	// RddSpec counts speculative duplicates the RDD engine launched for
+	// straggling partitions (first-writer-wins publication; the loser is
+	// suppressed). Zero unless speculation is enabled.
+	RddSpec
 
 	NumMetrics // number of metrics
 )
@@ -76,7 +85,7 @@ const (
 var metricNames = [NumMetrics]string{
 	"synch", "wait", "notify", "atomic", "park", "cpu",
 	"cachemiss", "object", "array", "method", "idynamic", "deadletter",
-	"stmabort", "stmextend",
+	"stmabort", "stmextend", "rddrecompute", "rddspec",
 }
 
 // String returns the paper's short name for the metric.
@@ -292,6 +301,12 @@ func (l Local) IncStmAbort() { l.sh.lanes[StmAbort].v.Add(1) }
 // IncStmExtend records one successful STM timestamp extension.
 func (l Local) IncStmExtend() { l.sh.lanes[StmExtend].v.Add(1) }
 
+// IncRddRecompute records one RDD partition recompute.
+func (l Local) IncRddRecompute() { l.sh.lanes[RddRecompute].v.Add(1) }
+
+// IncRddSpec records one speculative RDD partition duplicate.
+func (l Local) IncRddSpec() { l.sh.lanes[RddSpec].v.Add(1) }
+
 // A Snapshot is a point-in-time copy of the counters.
 type Snapshot struct {
 	Counts [NumMetrics]int64
@@ -371,3 +386,11 @@ func IncStmAbort() { Default.Add(StmAbort, 1) }
 
 // IncStmExtend records one successful STM timestamp extension.
 func IncStmExtend() { Default.Add(StmExtend, 1) }
+
+// IncRddRecompute records one RDD partition recompute (a failed partition
+// attempt re-evaluated from its lineage).
+func IncRddRecompute() { Default.Add(RddRecompute, 1) }
+
+// IncRddSpec records one speculative RDD partition duplicate launched for
+// a straggler.
+func IncRddSpec() { Default.Add(RddSpec, 1) }

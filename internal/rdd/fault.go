@@ -1,40 +1,38 @@
 // Error-surfacing actions. The legacy actions (Collect, Count, Reduce,
 // Aggregate) follow the fork–join discipline of re-panicking a partition
 // task's failure at the join; these variants run the same fused pipelines
-// through forkjoin.ForE and return the first failure as a *forkjoin.
-// TaskError instead. A failing partition cancels its unclaimed siblings,
-// so the action returns promptly without leaking executor helpers.
+// through the recovery engine (runParts) and return the first *persistent*
+// failure as a *forkjoin.TaskError instead. A partition panic — user code,
+// a nested shuffle, an injected chaos fault — no longer fails the action
+// outright: the partition is recomputed from its lineage under the
+// per-partition retry budget (SetTaskRetries), and only when the budget is
+// spent does the final TaskError surface. A persistently failing partition
+// cancels its unclaimed siblings, so the action still returns promptly
+// without leaking executor helpers.
 //
-// A panic inside a shuffle (wide dependency) poisons that shuffle's
-// sync.Once: the exchange is not retried, and downstream partitions that
-// need its buckets fail in turn. That is deliberate degradation — the
-// action surfaces an error and every executor unwinds — rather than a
-// partial silent result.
+// A panic inside a shuffle (wide dependency) no longer poisons the
+// exchange: the failed attempt's staging is discarded, and the next
+// consumer retries the whole exchange under a fresh epoch (see
+// exchange.ensure in lineage.go). Only persistent failure — every retry
+// exhausted — degrades to the pre-recovery behavior of one error
+// surfacing from the enclosing action.
 package rdd
 
 import (
-	"renaissance/internal/forkjoin"
 	"renaissance/internal/metrics"
 )
 
-// collectPartitionsE evaluates every partition like collectPartitions,
-// returning the first partition failure instead of panicking.
+// collectPartitionsE evaluates every partition like collectPartitions
+// with per-partition recovery (and straggler speculation, when enabled),
+// returning a persistent partition failure instead of panicking.
 func collectPartitionsE[T any](r *RDD[T]) ([][]T, error) {
-	metrics.IncArray()
-	out := make([][]T, r.numPartitions)
-	err := forkjoin.ForE(r.numPartitions, 1, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			out[p] = r.partition(p)
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return runParts(r.numPartitions, true, func(ctx *taskCtx, p int) []T {
+		return r.partitionCtx(ctx, p)
+	}, nil)
 }
 
 // CollectE evaluates the dataset and returns all elements, surfacing a
-// partition panic as an error.
+// persistent partition failure as an error.
 func (r *RDD[T]) CollectE() ([]T, error) {
 	parts, err := collectPartitionsE(r)
 	if err != nil {
@@ -52,18 +50,15 @@ func (r *RDD[T]) CollectE() ([]T, error) {
 	return out, nil
 }
 
-// CountE counts elements like Count, surfacing a partition panic as an
-// error.
+// CountE counts elements like Count, surfacing a persistent partition
+// failure as an error.
 func (r *RDD[T]) CountE() (int, error) {
-	counts := make([]int, r.numPartitions)
-	err := forkjoin.ForE(r.numPartitions, 1, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			metrics.IncMethod()
-			n := 0
-			r.run(p, func(T) bool { n++; return true })
-			counts[p] = n
-		}
-	})
+	counts, err := runParts(r.numPartitions, true, func(ctx *taskCtx, p int) int {
+		metrics.IncMethod()
+		n := 0
+		r.run(p, guardSink(ctx, func(T) bool { n++; return true }))
+		return n
+	}, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -74,33 +69,31 @@ func (r *RDD[T]) CountE() (int, error) {
 	return total, nil
 }
 
-// ReduceE folds all elements like Reduce, surfacing a partition panic as
-// an error (ErrEmpty still reports an empty dataset).
+// ReduceE folds all elements like Reduce, surfacing a persistent
+// partition failure as an error (ErrEmpty still reports an empty
+// dataset).
 func (r *RDD[T]) ReduceE(fn func(T, T) T) (T, error) {
 	type partial struct {
 		acc  T
 		have bool
 	}
-	partials := make([]partial, r.numPartitions)
 	var zero T
-	err := forkjoin.ForE(r.numPartitions, 1, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			metrics.IncMethod()
-			loc := metrics.Acquire()
-			var acc T
-			have := false
-			r.run(p, func(x T) bool {
-				if !have {
-					acc, have = x, true
-					return true
-				}
-				loc.IncIDynamic()
-				acc = fn(acc, x)
+	partials, err := runParts(r.numPartitions, true, func(ctx *taskCtx, p int) partial {
+		metrics.IncMethod()
+		loc := metrics.Acquire()
+		var acc T
+		have := false
+		r.run(p, guardSink(ctx, func(x T) bool {
+			if !have {
+				acc, have = x, true
 				return true
-			})
-			partials[p] = partial{acc, have}
-		}
-	})
+			}
+			loc.IncIDynamic()
+			acc = fn(acc, x)
+			return true
+		}))
+		return partial{acc, have}
+	}, nil)
 	if err != nil {
 		return zero, err
 	}
@@ -122,24 +115,21 @@ func (r *RDD[T]) ReduceE(fn func(T, T) T) (T, error) {
 	return acc, nil
 }
 
-// AggregateE folds like Aggregate, surfacing a partition panic as an
-// error.
+// AggregateE folds like Aggregate, surfacing a persistent partition
+// failure as an error.
 func AggregateE[T, A any](r *RDD[T], zero func() A, seqOp func(A, T) A, combOp func(A, A) A) (A, error) {
-	partials := make([]A, r.numPartitions)
-	err := forkjoin.ForE(r.numPartitions, 1, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			metrics.IncMethod()
-			loc := metrics.Acquire()
+	partials, err := runParts(r.numPartitions, true, func(ctx *taskCtx, p int) A {
+		metrics.IncMethod()
+		loc := metrics.Acquire()
+		loc.IncIDynamic()
+		acc := zero()
+		r.run(p, guardSink(ctx, func(x T) bool {
 			loc.IncIDynamic()
-			acc := zero()
-			r.run(p, func(x T) bool {
-				loc.IncIDynamic()
-				acc = seqOp(acc, x)
-				return true
-			})
-			partials[p] = acc
-		}
-	})
+			acc = seqOp(acc, x)
+			return true
+		}))
+		return acc
+	}, nil)
 	var out A
 	if err != nil {
 		return out, err

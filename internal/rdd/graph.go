@@ -121,32 +121,35 @@ func (g *Graph) newPRState(damping float64) *prState {
 // seed simply dropped it, which is why the benchmark's mass check needed
 // a 1% tolerance.
 //
-// Both phases run as chunked parallel-for work on the shared
-// work-stealing executor; the phase barrier between them is the only
-// synchronization.
+// The scatter runs on the recovery engine (forPartsRetry): each attempt
+// clears its private accumulator row first, so a faulted range replays
+// alone instead of failing the whole iteration. The merge stays on the
+// plain chunked parallel-for — it is allocation-free per chunk, and
+// keeping it off the recovery path preserves the engine's per-iteration
+// allocation bound (ml_alloc_test.go).
 func (s *prState) step() {
 	n := s.g.NumVertices()
-	forkjoin.For(prParts, 1, func(lo, hi int) {
+	if err := forPartsRetry(prParts, func(_ *taskCtx, p int) {
 		loc := metrics.Acquire()
-		for p := lo; p < hi; p++ {
-			row := s.acc.Row(p)[:n]
-			clear(row)
-			vlo, vhi := p*n/prParts, (p+1)*n/prParts
-			edges := 0
-			for v := vlo; v < vhi; v++ {
-				cols := s.g.out.RowCols(v)
-				if len(cols) == 0 {
-					continue
-				}
-				share := s.ranks[v] / float64(len(cols))
-				for _, dst := range cols {
-					row[dst] += share
-				}
-				edges += len(cols)
+		row := s.acc.Row(p)[:n]
+		clear(row)
+		vlo, vhi := p*n/prParts, (p+1)*n/prParts
+		edges := 0
+		for v := vlo; v < vhi; v++ {
+			cols := s.g.out.RowCols(v)
+			if len(cols) == 0 {
+				continue
 			}
-			loc.AddIDynamic(int64(edges))
+			share := s.ranks[v] / float64(len(cols))
+			for _, dst := range cols {
+				row[dst] += share
+			}
+			edges += len(cols)
 		}
-	})
+		loc.AddIDynamic(int64(edges))
+	}); err != nil {
+		panic(err)
+	}
 	danglingMass := 0.0
 	for _, v := range s.g.dangling {
 		danglingMass += s.ranks[v]

@@ -1,0 +1,158 @@
+// Lineage metadata and recovery barriers (DESIGN.md §14). Every RDD
+// records how it was derived — its dependency chain — so partition
+// recovery is meaningful and debuggable: a failed partition replays its
+// fused pipeline from the nearest materialized ancestor, and
+// RecomputeDepth reports how many narrow stages that replay spans before
+// hitting a barrier (the data source, a published shuffle exchange, a
+// cache, or a checkpoint).
+package rdd
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"renaissance/internal/metrics"
+)
+
+// dep classifies one link of an RDD's lineage chain.
+type dep int8
+
+const (
+	// depSource: Parallelize — the data is resident, nothing upstream to
+	// recompute.
+	depSource dep = iota
+	// depNarrow: map/filter/flatMap/mapPartitions — recompute replays the
+	// parent partition through the fused pipeline.
+	depNarrow
+	// depWide: a shuffle — once the exchange has published, downstream
+	// recomputes read the materialized buckets instead of re-shuffling.
+	depWide
+	// depBarrier: cache or checkpoint — an explicitly materialized
+	// recovery barrier that truncates recompute depth.
+	depBarrier
+)
+
+// lineage is one node of the recorded dependency chain. It is metadata
+// only — a few words per transformation — never the data: truncating the
+// *data* lineage (Checkpoint) is about dropping the closure chain that
+// pins upstream partitions, which lives in the RDD's iterate field, not
+// here.
+type lineage struct {
+	op     string
+	dep    dep
+	parent *lineage
+}
+
+func newLineage(op string, d dep, parent *lineage) *lineage {
+	return &lineage{op: op, dep: d, parent: parent}
+}
+
+// Lineage renders the dependency chain child-first, e.g.
+// "filter <- map <- parallelize". A checkpointed dataset's chain is
+// truncated at the checkpoint, like Spark's toDebugString.
+func (r *RDD[T]) Lineage() string {
+	var ops []string
+	for l := r.lin; l != nil; l = l.parent {
+		ops = append(ops, l.op)
+	}
+	return strings.Join(ops, " <- ")
+}
+
+// RecomputeDepth reports how many narrow stages a failed partition of
+// this dataset replays before reaching a recovery barrier: 0 for sources,
+// wide datasets (the published exchange is the barrier), caches, and
+// checkpoints. It is a static property of the chain — it does not track
+// whether a cache or exchange has actually materialized yet.
+func (r *RDD[T]) RecomputeDepth() int {
+	d := 0
+	for l := r.lin; l != nil && l.dep == depNarrow; l = l.parent {
+		d++
+	}
+	return d
+}
+
+// ShuffleEpochs reports how many exchange attempts this dataset's wide
+// dependency (or checkpoint materialization) has started: 0 before any
+// action and for narrow datasets, 1 after a clean exchange, more when
+// failed attempts were retried under fresh epochs.
+func (r *RDD[T]) ShuffleEpochs() int64 {
+	if r.wideEpochs == nil {
+		return 0
+	}
+	return r.wideEpochs.Load()
+}
+
+// exchange is the retryable materialization point of a wide dependency —
+// the epoch-tagged replacement for the sync.Once that used to guard a
+// shuffle. A successful attempt publishes its payload once (readers after
+// that are a single atomic load); a failed attempt leaves the slot empty
+// and releases the mutex, so the next consumer retries the whole
+// computation under a fresh epoch instead of inheriting a poisoned Once
+// whose nil buckets every downstream partition would crash on forever.
+type exchange[T any] struct {
+	mu    sync.Mutex
+	out   atomic.Pointer[T]
+	epoch atomic.Int64
+}
+
+// ensure returns the published payload, computing it under the mutex on
+// first use. compute may panic (a producer's retry budget exhausted, an
+// injected rdd.shuffle fault): the panic unwinds through the calling
+// consumer's own recovery loop, which retries ensure — a fresh epoch —
+// under its own recompute budget, bounding the total attempts.
+func (e *exchange[T]) ensure(compute func() T) T {
+	if v := e.out.Load(); v != nil {
+		return *v
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if v := e.out.Load(); v != nil {
+		return *v
+	}
+	e.epoch.Add(1)
+	v := compute()
+	e.out.Store(&v)
+	return v
+}
+
+// Checkpoint returns a dataset with the same contents whose first
+// evaluation materializes every partition (with partition recovery) and
+// truncates the lineage: the upstream pipeline — and the data it pins —
+// becomes unreachable once the checkpoint has published, and downstream
+// recomputes replay from the checkpointed slices instead of the full
+// chain. Deep iterative pipelines checkpoint between rounds to bound
+// their recompute depth, exactly as in Spark; unlike Spark the
+// materialization is in-memory, not on disk (DESIGN.md §14 lists the
+// deliberate divergences).
+func (r *RDD[T]) Checkpoint() *RDD[T] {
+	metrics.IncObject()
+	ex := &exchange[[][]T]{}
+	// The parent reference lives in a cell the materializer clears: after
+	// a successful checkpoint the closure chain below holds only ex and
+	// the cell, so the whole upstream pipeline is garbage.
+	cell := &struct{ parent *RDD[T] }{parent: r}
+	ensure := func() [][]T {
+		return ex.ensure(func() [][]T {
+			parts, err := collectPartitionsE(cell.parent)
+			if err != nil {
+				panic(err)
+			}
+			cell.parent = nil // truncate the data lineage
+			return parts
+		})
+	}
+	return &RDD[T]{
+		numPartitions: r.numPartitions,
+		lin:           newLineage("checkpoint", depBarrier, nil),
+		wideEpochs:    &ex.epoch,
+		sizeHint:      func(p int) int { return len(ensure()[p]) },
+		iterate: func(p int, sink func(T) bool) {
+			for _, x := range ensure()[p] {
+				if !sink(x) {
+					return
+				}
+			}
+		},
+	}
+}

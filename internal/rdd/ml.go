@@ -96,20 +96,23 @@ func LogisticRegression(points *RDD[LabeledPoint], iterations int, learningRate 
 	weights := make([]float64, dim)
 	for it := 0; it < iterations; it++ {
 		w := weights
-		forkjoin.For(parts, 1, func(lo, hi int) {
+		// forPartsRetry, not For: a failed chunk re-clears its private
+		// gradient row and recomputes, so a transient fault costs one
+		// chunk replay instead of the whole pass.
+		if err := forPartsRetry(parts, func(_ *taskCtx, c int) {
 			loc := metrics.Acquire()
-			for c := lo; c < hi; c++ {
-				g := grads.Row(c)[:dim]
-				clear(g)
-				rlo, rhi := c*n/parts, (c+1)*n/parts
-				loc.AddIDynamic(int64(rhi - rlo))
-				for i := rlo; i < rhi; i++ {
-					row := x.Row(i)
-					e := sigmoid(lin.Dot(w, row)) - float64(labels[i])
-					lin.Axpy(e, row, g)
-				}
+			g := grads.Row(c)[:dim]
+			clear(g)
+			rlo, rhi := c*n/parts, (c+1)*n/parts
+			loc.AddIDynamic(int64(rhi - rlo))
+			for i := rlo; i < rhi; i++ {
+				row := x.Row(i)
+				e := sigmoid(lin.Dot(w, row)) - float64(labels[i])
+				lin.Axpy(e, row, g)
 			}
-		})
+		}); err != nil {
+			return nil, err
+		}
 		// Merge in fixed chunk order, then descend.
 		g := grads.Row(0)[:dim]
 		for c := 1; c < parts; c++ {
@@ -145,22 +148,25 @@ func NaiveBayes(points *RDD[LabeledPoint], numClasses, numFeatures int) (*NaiveB
 	metrics.Acquire().IncArray()
 	// Per-partition count tables, rows padded onto disjoint cache lines.
 	tab := lin.NewMat(parts, lin.PadStride(width))
-	forkjoin.For(parts, 1, func(lo, hi int) {
+	// Each attempt clears its private table row first, so a recompute
+	// after a mid-stream fault never double-counts.
+	if err := forPartsRetry(parts, func(ctx *taskCtx, c int) {
 		loc := metrics.Acquire()
-		for c := lo; c < hi; c++ {
-			acc := tab.Row(c)[:width]
-			points.run(c, func(p LabeledPoint) bool {
-				loc.IncIDynamic()
-				if p.Label < 0 || p.Label >= numClasses || len(p.Features) != numFeatures {
-					return true
-				}
-				row := acc[p.Label*stride : (p.Label+1)*stride]
-				row[0]++
-				lin.Axpy(1, p.Features, row[1:])
+		acc := tab.Row(c)[:width]
+		clear(acc)
+		points.run(c, guardSink(ctx, func(p LabeledPoint) bool {
+			loc.IncIDynamic()
+			if p.Label < 0 || p.Label >= numClasses || len(p.Features) != numFeatures {
 				return true
-			})
-		}
-	})
+			}
+			row := acc[p.Label*stride : (p.Label+1)*stride]
+			row[0]++
+			lin.Axpy(1, p.Features, row[1:])
+			return true
+		}))
+	}); err != nil {
+		return nil, err
+	}
 	res := tab.Row(0)[:width]
 	for c := 1; c < parts; c++ {
 		lin.Axpy(1, tab.Row(c)[:width], res)
@@ -218,29 +224,32 @@ func ChiSquare(points *RDD[LabeledPoint], numClasses, numFeatures, numBuckets in
 	metrics.Acquire().IncArray()
 	// Per-partition tables, rows padded onto disjoint cache lines.
 	tab := lin.NewMat(parts, lin.PadStride(width))
-	forkjoin.For(parts, 1, func(lo, hi int) {
+	// Attempts clear their private table row first — recompute-safe, like
+	// NaiveBayes. A persistent failure re-panics (legacy action contract).
+	if err := forPartsRetry(parts, func(ctx *taskCtx, c int) {
 		loc := metrics.Acquire()
-		for c := lo; c < hi; c++ {
-			acc := tab.Row(c)[:width]
-			points.run(c, func(p LabeledPoint) bool {
-				loc.IncIDynamic()
-				if p.Label < 0 || p.Label >= numClasses {
-					return true
-				}
-				for f := 0; f < numFeatures && f < len(p.Features); f++ {
-					b := int(p.Features[f])
-					if b < 0 {
-						b = 0
-					}
-					if b >= numBuckets {
-						b = numBuckets - 1
-					}
-					acc[f*stride+b*numClasses+p.Label]++
-				}
+		acc := tab.Row(c)[:width]
+		clear(acc)
+		points.run(c, guardSink(ctx, func(p LabeledPoint) bool {
+			loc.IncIDynamic()
+			if p.Label < 0 || p.Label >= numClasses {
 				return true
-			})
-		}
-	})
+			}
+			for f := 0; f < numFeatures && f < len(p.Features); f++ {
+				b := int(p.Features[f])
+				if b < 0 {
+					b = 0
+				}
+				if b >= numBuckets {
+					b = numBuckets - 1
+				}
+				acc[f*stride+b*numClasses+p.Label]++
+			}
+			return true
+		}))
+	}); err != nil {
+		panic(err)
+	}
 	res := tab.Row(0)[:width]
 	for c := 1; c < parts; c++ {
 		lin.Axpy(1, tab.Row(c)[:width], res)

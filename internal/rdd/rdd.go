@@ -7,7 +7,8 @@
 // dec-tree, log-regression, movie-lens, naive-bayes, and page-rank
 // (Table 1: "data-parallel, machine learning / compute-bound / atomics").
 //
-// Internally the engine is built around three mechanisms (DESIGN.md §7):
+// Internally the engine is built around four mechanisms (DESIGN.md §7,
+// §14):
 //
 //   - Fused pipelines: a narrow transformation does not materialize an
 //     intermediate slice. Each stage is a push-based sink over its
@@ -15,12 +16,17 @@
 //     partition in one pass with a single output allocation at the next
 //     materialization boundary (an action, a Cache, or a shuffle write).
 //   - Shared execution: partition tasks, shuffle producers/consumers, and
-//     aggregates all run as chunked parallel-for work on the process-wide
+//     aggregates all run as partition-granular work on the process-wide
 //     fork–join pool (forkjoin.Shared), never as one goroutine per
 //     partition.
 //   - Lock-free shuffle: wide dependencies exchange pairs through a
 //     private [producer][bucket] staging matrix followed by per-bucket
 //     concatenation — no mutex is acquired on the shuffle hot path.
+//   - Lineage-based recovery (recovery.go, lineage.go): a failed
+//     partition attempt is recomputed from the nearest materialized
+//     ancestor under a bounded retry budget; failed shuffle exchanges
+//     retry under fresh epochs; Checkpoint truncates lineage; straggler
+//     speculation (opt-in) duplicates slow partitions first-writer-wins.
 package rdd
 
 import (
@@ -29,9 +35,9 @@ import (
 	"reflect"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"renaissance/internal/chaos"
-	"renaissance/internal/forkjoin"
 	"renaissance/internal/metrics"
 )
 
@@ -53,8 +59,29 @@ type RDD[T any] struct {
 	// it.
 	sizeHint func(p int) int
 
-	cacheOnce []sync.Once
-	cached    [][]T
+	// cache, when non-nil, holds one publication slot per partition (see
+	// Cache and cachedPartition).
+	cache []cacheSlot[T]
+
+	// lin records how this dataset was derived (lineage.go); nil on
+	// directly constructed datasets, which recovery treats as sources.
+	lin *lineage
+
+	// wideEpochs points at the exchange-attempt counter of a wide or
+	// checkpointed dataset (nil for narrow ones); see ShuffleEpochs.
+	wideEpochs *atomic.Int64
+}
+
+// cacheSlot memoizes one partition: an atomic publication pointer for the
+// lock-free read path, and a mutex serializing the first computation so a
+// partition is never evaluated twice by racing actions. Unlike the
+// sync.Once this replaces, a panic during materialization releases the
+// mutex with the slot still empty — the partition can be recomputed —
+// instead of permanently marking the Once done with a nil value that
+// every later action would silently read as an empty partition.
+type cacheSlot[T any] struct {
+	mu  sync.Mutex
+	val atomic.Pointer[[]T]
 }
 
 // defaultPartitions is the Parallelize partition count when none is given.
@@ -108,6 +135,7 @@ func Parallelize[T any](data []T, partitions int) *RDD[T] {
 	n := len(data)
 	return &RDD[T]{
 		numPartitions: partitions,
+		lin:           newLineage("parallelize", depSource, nil),
 		sizeHint: func(p int) int {
 			return (p+1)*n/partitions - p*n/partitions
 		},
@@ -128,11 +156,12 @@ func (r *RDD[T]) NumPartitions() int { return r.numPartitions }
 // Cache memoizes partition contents: each partition is computed at most
 // once across all downstream actions. A cached dataset is a fusion
 // barrier — downstream stages read the memoized slice instead of
-// re-running the upstream pipeline.
+// re-running the upstream pipeline — and a recovery barrier: downstream
+// recomputes replay from the memoized slice, never the upstream chain.
 func (r *RDD[T]) Cache() *RDD[T] {
-	if r.cacheOnce == nil {
-		r.cacheOnce = make([]sync.Once, r.numPartitions)
-		r.cached = make([][]T, r.numPartitions)
+	if r.cache == nil {
+		r.cache = make([]cacheSlot[T], r.numPartitions)
+		r.lin = newLineage("cache", depBarrier, r.lin)
 	}
 	return r
 }
@@ -141,7 +170,7 @@ func (r *RDD[T]) Cache() *RDD[T] {
 // dataset is cached. This is how narrow children consume their parent:
 // elements flow stage to stage without intermediate slices.
 func (r *RDD[T]) run(p int, sink func(T) bool) {
-	if r.cacheOnce != nil {
+	if r.cache != nil {
 		for _, x := range r.cachedPartition(p) {
 			if !sink(x) {
 				return
@@ -153,47 +182,60 @@ func (r *RDD[T]) run(p int, sink func(T) bool) {
 }
 
 // materialize evaluates partition p into a slice: the whole fused
-// pipeline runs in one pass into a single size-hinted allocation.
-func (r *RDD[T]) materialize(p int) []T {
+// pipeline runs in one pass into a single size-hinted allocation, with
+// the attempt's cancellation checked at the strided sink guard.
+func (r *RDD[T]) materialize(ctx *taskCtx, p int) []T {
 	loc := metrics.Acquire()
 	loc.IncArray()
 	out := make([]T, 0, r.sizeHint(p))
-	r.iterate(p, func(x T) bool {
+	r.iterate(p, guardSink(ctx, func(x T) bool {
 		out = append(out, x)
 		return true
-	})
+	}))
 	return out
 }
 
+// cachedPartition returns partition p's memoized contents, computing and
+// publishing them on first use. Racing actions serialize on the slot
+// mutex (the loser waits and reads the winner's slice — each partition is
+// still computed exactly once per success); a failed attempt leaves the
+// slot empty for the next action's recompute.
 func (r *RDD[T]) cachedPartition(p int) []T {
-	r.cacheOnce[p].Do(func() {
-		r.cached[p] = r.materialize(p)
-	})
-	return r.cached[p]
+	s := &r.cache[p]
+	if v := s.val.Load(); v != nil {
+		return *v
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v := s.val.Load(); v == nil {
+		part := r.materialize(noCtx, p)
+		s.val.Store(&part)
+	}
+	return *s.val.Load()
 }
 
 // partition evaluates one partition to a slice (the materialization
 // boundary used by actions and by MapPartitions).
-func (r *RDD[T]) partition(p int) []T {
+func (r *RDD[T]) partition(p int) []T { return r.partitionCtx(noCtx, p) }
+
+// partitionCtx is partition under an attempt's cancellation context.
+func (r *RDD[T]) partitionCtx(ctx *taskCtx, p int) []T {
 	metrics.IncMethod()
-	if r.cacheOnce != nil {
+	if r.cache != nil {
 		return r.cachedPartition(p)
 	}
-	return r.materialize(p)
+	return r.materialize(ctx, p)
 }
 
-// collectPartitions evaluates every partition as tasks on the shared
-// work-stealing executor (grain 1: each partition is already a coarse
-// task).
+// collectPartitions evaluates every partition on the recovery-aware
+// partition scheduler (recovery.go), re-panicking a persistent failure's
+// *forkjoin.TaskError at the join — the legacy action contract.
 func collectPartitions[T any](r *RDD[T]) [][]T {
-	metrics.IncArray()
-	out := make([][]T, r.numPartitions)
-	forkjoin.For(r.numPartitions, 1, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			out[p] = r.partition(p)
-		}
-	})
-	return out
+	parts, err := collectPartitionsE(r)
+	if err != nil {
+		panic(err)
+	}
+	return parts
 }
 
 // Map applies fn to every element (narrow dependency, fused).
@@ -201,6 +243,7 @@ func Map[T, U any](r *RDD[T], fn func(T) U) *RDD[U] {
 	metrics.IncObject()
 	return &RDD[U]{
 		numPartitions: r.numPartitions,
+		lin:           newLineage("map", depNarrow, r.lin),
 		sizeHint:      r.sizeHint,
 		iterate: func(p int, sink func(U) bool) {
 			// One shard-pinned handle per partition pass: the per-element
@@ -220,6 +263,7 @@ func (r *RDD[T]) Filter(pred func(T) bool) *RDD[T] {
 	metrics.IncObject()
 	return &RDD[T]{
 		numPartitions: r.numPartitions,
+		lin:           newLineage("filter", depNarrow, r.lin),
 		sizeHint:      r.sizeHint, // upper bound: filtering only shrinks
 		iterate: func(p int, sink func(T) bool) {
 			loc := metrics.Acquire()
@@ -240,6 +284,7 @@ func FlatMap[T, U any](r *RDD[T], fn func(T) []U) *RDD[U] {
 	metrics.IncObject()
 	return &RDD[U]{
 		numPartitions: r.numPartitions,
+		lin:           newLineage("flatMap", depNarrow, r.lin),
 		sizeHint:      r.sizeHint, // a guess; the output may outgrow it
 		iterate: func(p int, sink func(U) bool) {
 			loc := metrics.Acquire()
@@ -263,6 +308,7 @@ func MapPartitions[T, U any](r *RDD[T], fn func([]T) []U) *RDD[U] {
 	metrics.IncObject()
 	return &RDD[U]{
 		numPartitions: r.numPartitions,
+		lin:           newLineage("mapPartitions", depNarrow, r.lin),
 		sizeHint:      r.sizeHint,
 		iterate: func(p int, sink func(U) bool) {
 			metrics.IncIDynamic()
@@ -293,93 +339,33 @@ func (r *RDD[T]) Collect() []T {
 // Count returns the number of elements. The fused pipeline streams
 // through a counter — nothing is materialized.
 func (r *RDD[T]) Count() int {
-	counts := make([]int, r.numPartitions)
-	forkjoin.For(r.numPartitions, 1, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			metrics.IncMethod()
-			n := 0
-			r.run(p, func(T) bool { n++; return true })
-			counts[p] = n
-		}
-	})
-	total := 0
-	for _, n := range counts {
-		total += n
+	n, err := r.CountE()
+	if err != nil {
+		panic(err)
 	}
-	return total
+	return n
 }
 
 // Reduce folds all elements with fn; partitions are folded in parallel
 // (streaming through the fused pipeline) and partial results combined in
-// partition order.
+// partition order. A persistent partition failure re-panics at the join.
 func (r *RDD[T]) Reduce(fn func(T, T) T) (T, error) {
-	type partial struct {
-		acc  T
-		have bool
+	acc, err := r.ReduceE(fn)
+	if err != nil && err != ErrEmpty {
+		panic(err)
 	}
-	partials := make([]partial, r.numPartitions)
-	forkjoin.For(r.numPartitions, 1, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			metrics.IncMethod()
-			loc := metrics.Acquire()
-			var acc T
-			have := false
-			r.run(p, func(x T) bool {
-				if !have {
-					acc, have = x, true
-					return true
-				}
-				loc.IncIDynamic()
-				acc = fn(acc, x)
-				return true
-			})
-			partials[p] = partial{acc, have}
-		}
-	})
-	var acc T
-	have := false
-	for _, pt := range partials {
-		if !pt.have {
-			continue
-		}
-		if !have {
-			acc, have = pt.acc, true
-			continue
-		}
-		metrics.IncIDynamic()
-		acc = fn(acc, pt.acc)
-	}
-	if !have {
-		return acc, ErrEmpty
-	}
-	return acc, nil
+	return acc, err
 }
 
 // Aggregate folds each partition from zero() with seqOp, then merges the
 // per-partition accumulators with combOp (Spark's treeAggregate shape,
 // flattened). Each partition streams through its fused pipeline directly
-// into the accumulator.
+// into the accumulator. A persistent partition failure re-panics at the
+// join.
 func Aggregate[T, A any](r *RDD[T], zero func() A, seqOp func(A, T) A, combOp func(A, A) A) A {
-	partials := make([]A, r.numPartitions)
-	forkjoin.For(r.numPartitions, 1, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			metrics.IncMethod()
-			loc := metrics.Acquire()
-			loc.IncIDynamic()
-			acc := zero()
-			r.run(p, func(x T) bool {
-				loc.IncIDynamic()
-				acc = seqOp(acc, x)
-				return true
-			})
-			partials[p] = acc
-		}
-	})
-	metrics.IncIDynamic()
-	acc := zero()
-	for _, p := range partials {
-		metrics.IncIDynamic()
-		acc = combOp(acc, p)
+	acc, err := AggregateE(r, zero, seqOp, combOp)
+	if err != nil {
+		panic(err)
 	}
 	return acc
 }
@@ -477,54 +463,67 @@ func putStagingRow[K comparable, V any](pool *sync.Pool, row *stagingRow[K, V]) 
 // Phase 2 — consumers: each output bucket concatenates its column of the
 // matrix with one exact-sized allocation.
 //
-// Both phases run as chunked tasks on the shared executor; the only
-// synchronization is the executor's own atomic chunk claiming and the
-// phase barrier between them.
+// Both phases run as partition jobs on the recovery engine (runParts):
+// a producer or consumer that panics — user code or an injected
+// rdd.shuffle fault — is retried per partition under the task budget,
+// and only a persistent failure panics out of shuffle, unwinding into
+// the enclosing exchange whose next consumer retries under a fresh
+// epoch. Staging rows owned by failed or abandoned attempts are
+// recycled via the job's discard callback.
 func shuffle[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) [][]Pair[K, V] {
 	producers := r.numPartitions
 	pool := stagingPoolFor[K, V]()
-	metrics.IncArray()
-	staging := make([]*stagingRow[K, V], producers)
-
-	forkjoin.For(producers, 1, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			if chaos.Maybe("rdd.shuffle") {
-				// A failing producer poisons this shuffle's sync.Once: the
-				// exchange is never retried and every dependent partition
-				// fails, surfacing one error from the enclosing action.
-				panic(&chaos.InjectedError{Point: "rdd.shuffle"})
-			}
-			metrics.IncMethod()
-			row := getStagingRow[K, V](pool, numPartitions, r.sizeHint(p))
-			r.run(p, func(kv Pair[K, V]) bool {
-				b := hashKey(kv.Key, numPartitions)
-				row.buckets[b] = append(row.buckets[b], kv)
-				return true
-			})
-			staging[p] = row
-		}
-	})
 
 	metrics.IncArray()
-	buckets := make([][]Pair[K, V], numPartitions)
-	forkjoin.For(numPartitions, 1, func(lo, hi int) {
-		for b := lo; b < hi; b++ {
-			loc := metrics.Acquire()
-			total := 0
-			for _, row := range staging {
-				total += len(row.buckets[b])
-			}
-			loc.IncArray()
-			out := make([]Pair[K, V], 0, total)
-			for _, row := range staging {
-				out = append(out, row.buckets[b]...)
-			}
-			buckets[b] = out
+	discardRow := func(row *stagingRow[K, V]) {
+		if row != nil {
+			putStagingRow(pool, row)
 		}
-	})
+	}
+	staging, err := runParts(producers, false, func(ctx *taskCtx, p int) *stagingRow[K, V] {
+		if chaos.Maybe("rdd.shuffle") {
+			// A failing producer used to poison this shuffle's sync.Once
+			// forever; now the attempt's staging is discarded and the
+			// partition retries, with a persistent failure unwinding into
+			// the exchange for an epoch-level retry.
+			panic(&chaos.InjectedError{Point: "rdd.shuffle"})
+		}
+		metrics.IncMethod()
+		row := getStagingRow[K, V](pool, numPartitions, r.sizeHint(p))
+		r.run(p, guardSink(ctx, func(kv Pair[K, V]) bool {
+			b := hashKey(kv.Key, numPartitions)
+			row.buckets[b] = append(row.buckets[b], kv)
+			return true
+		}))
+		if ctx.stopped {
+			discardRow(row)
+			return nil
+		}
+		return row
+	}, discardRow)
+	if err != nil {
+		panic(err)
+	}
 
+	metrics.IncArray()
+	buckets, err := runParts(numPartitions, false, func(ctx *taskCtx, b int) []Pair[K, V] {
+		loc := metrics.Acquire()
+		total := 0
+		for _, row := range staging {
+			total += len(row.buckets[b])
+		}
+		loc.IncArray()
+		out := make([]Pair[K, V], 0, total)
+		for _, row := range staging {
+			out = append(out, row.buckets[b]...)
+		}
+		return out
+	}, nil)
 	for _, row := range staging {
 		putStagingRow(pool, row)
+	}
+	if err != nil {
+		panic(err)
 	}
 	return buckets
 }
@@ -535,17 +534,19 @@ func shuffle[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) [][]Pai
 func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int, fn func(V, V) V) *RDD[Pair[K, V]] {
 	metrics.IncObject()
 	numPartitions = clampPartitions(numPartitions, r.numPartitions, shuffleLimit(r.numPartitions))
-	var once sync.Once
-	var buckets [][]Pair[K, V]
-	ensure := func() { once.Do(func() { buckets = shuffle(r, numPartitions) }) }
+	ex := &exchange[[][]Pair[K, V]]{}
+	ensure := func() [][]Pair[K, V] {
+		return ex.ensure(func() [][]Pair[K, V] { return shuffle(r, numPartitions) })
+	}
 	return &RDD[Pair[K, V]]{
 		numPartitions: numPartitions,
+		lin:           newLineage("reduceByKey", depWide, r.lin),
+		wideEpochs:    &ex.epoch,
 		sizeHint: func(p int) int {
-			ensure()
-			return len(buckets[p])
+			return len(ensure()[p])
 		},
 		iterate: func(p int, sink func(Pair[K, V]) bool) {
-			ensure()
+			buckets := ensure()
 			loc := metrics.Acquire()
 			loc.IncObject()
 			agg := make(map[K]V, len(buckets[p]))
@@ -570,17 +571,19 @@ func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int, fn 
 func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) *RDD[Pair[K, []V]] {
 	metrics.IncObject()
 	numPartitions = clampPartitions(numPartitions, r.numPartitions, shuffleLimit(r.numPartitions))
-	var once sync.Once
-	var buckets [][]Pair[K, V]
-	ensure := func() { once.Do(func() { buckets = shuffle(r, numPartitions) }) }
+	ex := &exchange[[][]Pair[K, V]]{}
+	ensure := func() [][]Pair[K, V] {
+		return ex.ensure(func() [][]Pair[K, V] { return shuffle(r, numPartitions) })
+	}
 	return &RDD[Pair[K, []V]]{
 		numPartitions: numPartitions,
+		lin:           newLineage("groupByKey", depWide, r.lin),
+		wideEpochs:    &ex.epoch,
 		sizeHint: func(p int) int {
-			ensure()
-			return len(buckets[p])
+			return len(ensure()[p])
 		},
 		iterate: func(p int, sink func(Pair[K, []V]) bool) {
-			ensure()
+			buckets := ensure()
 			metrics.IncObject()
 			agg := make(map[K][]V)
 			for _, kv := range buckets[p] {
@@ -613,29 +616,34 @@ func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], numPar
 	}
 	metrics.IncObject()
 	numPartitions = clampPartitions(numPartitions, a.numPartitions, shuffleLimit(a.numPartitions))
-	var once sync.Once
-	var leftBuckets [][]Pair[K, V]
-	var rightBuckets [][]Pair[K, W]
-	ensure := func() {
-		once.Do(func() {
-			leftBuckets = shuffle(a, numPartitions)
-			rightBuckets = shuffle(b, numPartitions)
+	// One exchange covers both sides: a failure in either shuffle discards
+	// the attempt and the next consumer retries the pair under one fresh
+	// epoch, so the two sides can never publish from different attempts.
+	type sides struct {
+		left  [][]Pair[K, V]
+		right [][]Pair[K, W]
+	}
+	ex := &exchange[sides]{}
+	ensure := func() sides {
+		return ex.ensure(func() sides {
+			return sides{shuffle(a, numPartitions), shuffle(b, numPartitions)}
 		})
 	}
 	return &RDD[Pair[K, joined]]{
 		numPartitions: numPartitions,
+		lin:           newLineage("join", depWide, a.lin),
+		wideEpochs:    &ex.epoch,
 		sizeHint: func(p int) int {
-			ensure()
-			return len(rightBuckets[p])
+			return len(ensure().right[p])
 		},
 		iterate: func(p int, sink func(Pair[K, joined]) bool) {
-			ensure()
+			s := ensure()
 			metrics.IncObject()
 			left := make(map[K][]V)
-			for _, kv := range leftBuckets[p] {
+			for _, kv := range s.left[p] {
 				left[kv.Key] = append(left[kv.Key], kv.Value)
 			}
-			for _, kw := range rightBuckets[p] {
+			for _, kw := range s.right[p] {
 				for _, v := range left[kw.Key] {
 					if !sink(Pair[K, joined]{kw.Key, joined{v, kw.Value}}) {
 						return

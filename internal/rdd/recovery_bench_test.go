@@ -1,0 +1,157 @@
+package rdd
+
+import (
+	"sync"
+	"testing"
+
+	"renaissance/internal/forkjoin"
+	"renaissance/internal/metrics"
+)
+
+// Fault-free overhead of the lineage recovery engine (DESIGN.md §14,
+// EXPERIMENTS.md "Recovery overhead"): each pair runs the same workload
+// through the recovery-backed engine path and through an in-package
+// replica of the pre-recovery path (plain forkjoin parallel-for actions,
+// sync.Once-guarded shuffle), so the delta is exactly what lineage
+// tracking, per-partition retry accounting, and the quiescence handshake
+// cost when nothing fails. Run via `make bench` at -cpu 1,2,4,8; output
+// lands in BENCH_rdd.txt.
+
+// legacyCollect is the pre-recovery Collect: partitions evaluated by the
+// chunked parallel-for, a failure re-panicked at the join, no retry
+// bookkeeping.
+func legacyCollect[T any](r *RDD[T]) []T {
+	metrics.IncArray()
+	parts := make([][]T, r.numPartitions)
+	forkjoin.For(r.numPartitions, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			parts[p] = r.partition(p)
+		}
+	})
+	total := 0
+	for _, pt := range parts {
+		total += len(pt)
+	}
+	metrics.IncArray()
+	out := make([]T, 0, total)
+	for _, pt := range parts {
+		out = append(out, pt...)
+	}
+	return out
+}
+
+// legacyShuffle is the pre-recovery two-phase exchange: both phases on the
+// plain parallel-for, no per-partition retry, no staging discard path.
+// (Callers guarded it with a sync.Once; the Once itself is free, so it is
+// not replicated per iteration here.)
+func legacyShuffle[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) [][]Pair[K, V] {
+	producers := r.numPartitions
+	pool := stagingPoolFor[K, V]()
+	metrics.IncArray()
+	staging := make([]*stagingRow[K, V], producers)
+	forkjoin.For(producers, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			metrics.IncMethod()
+			row := getStagingRow[K, V](pool, numPartitions, r.sizeHint(p))
+			r.run(p, func(kv Pair[K, V]) bool {
+				b := hashKey(kv.Key, numPartitions)
+				row.buckets[b] = append(row.buckets[b], kv)
+				return true
+			})
+			staging[p] = row
+		}
+	})
+	metrics.IncArray()
+	buckets := make([][]Pair[K, V], numPartitions)
+	forkjoin.For(numPartitions, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			loc := metrics.Acquire()
+			total := 0
+			for _, row := range staging {
+				total += len(row.buckets[b])
+			}
+			loc.IncArray()
+			out := make([]Pair[K, V], 0, total)
+			for _, row := range staging {
+				out = append(out, row.buckets[b]...)
+			}
+			buckets[b] = out
+		}
+	})
+	for _, row := range staging {
+		putStagingRow(pool, row)
+	}
+	return buckets
+}
+
+func BenchmarkRecoveryOverheadCollect(b *testing.B) {
+	data := ints(pipelineElems)
+	r := Map(Map(Parallelize(data, pipelineParts), benchMul).Filter(benchOdd), benchDec)
+
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pipelineSink = len(legacyCollect(r))
+		}
+	})
+	b.Run("recovery", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pipelineSink = len(r.Collect())
+		}
+	})
+}
+
+func BenchmarkRecoveryOverheadShuffle(b *testing.B) {
+	pairs := make([]Pair[int, int], shuffleElems)
+	for i := range pairs {
+		pairs[i] = KV(i%shuffleKeys, i)
+	}
+	r := Parallelize(pairs, shuffleParts)
+
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var once sync.Once
+			var buckets [][]Pair[int, int]
+			once.Do(func() { buckets = legacyShuffle(r, shuffleBuckets) })
+			pipelineSink = len(buckets[0])
+		}
+	})
+	b.Run("recovery", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buckets := shuffle(r, shuffleBuckets)
+			pipelineSink = len(buckets[0])
+		}
+	})
+}
+
+func BenchmarkRecoveryOverheadALS(b *testing.B) {
+	ratings := benchRatings()
+	r := Parallelize(ratings, 8)
+
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			all := legacyCollect(r)
+			if _, err := ALSTrain(NewRatingsGraph(all), 4, 8, 0.01, 7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recovery", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ALS(r, 4, 8, 0.01, 7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,393 @@
+// Adversarial tests for the lineage recovery engine: injected-fault
+// recompute, retry-budget exhaustion, recovery racing concurrent actions
+// on a shared cache, shuffle epoch retries, speculative-duplicate
+// suppression, and checkpoint lineage truncation. Names match the stress
+// regex in the Makefile so `make stress` shakes them under -race.
+package rdd
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"renaissance/internal/chaos"
+	"renaissance/internal/forkjoin"
+)
+
+// chaosQuiet configures the chaos engine with only the named points armed
+// (global rate 0) and restores a dormant engine and the default retry
+// budget when the test ends.
+func chaosQuiet(t *testing.T, seed int64, rates map[string]float64) {
+	t.Helper()
+	chaos.Configure(seed, 0)
+	for name, r := range rates {
+		chaos.SetRate(name, r)
+	}
+	t.Cleanup(func() {
+		chaos.Configure(seed, 0)
+		chaos.Disable()
+		SetTaskRetries(-1)
+	})
+}
+
+func TestRecomputeRecoversInjectedTaskFaults(t *testing.T) {
+	// Every first attempt fails (rdd.task at rate 1); every recompute
+	// succeeds (rdd.recompute dormant). The action must still deliver the
+	// exact fault-free result, with one recompute per partition.
+	chaosQuiet(t, 11, map[string]float64{"rdd.task": 1})
+	SetTaskRetries(3)
+
+	r := Map(Parallelize(ints(200), 8), func(x int) int { return x * 3 })
+	got, err := r.CollectE()
+	if err != nil {
+		t.Fatalf("CollectE under full first-attempt injection: %v", err)
+	}
+	want := make([]int, 200)
+	for i := range want {
+		want[i] = i * 3
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("recovered result differs from fault-free result")
+	}
+	if fires := chaos.FireCount("rdd.task"); fires < 8 {
+		t.Errorf("rdd.task fired %d times, want >= 8 (one per partition)", fires)
+	}
+	if fires := chaos.FireCount("rdd.recompute"); fires != 0 {
+		t.Errorf("rdd.recompute fired %d times while dormant", fires)
+	}
+}
+
+func TestRetryBudgetExhaustionSurfacesTaskError(t *testing.T) {
+	// Both the first attempt and every recompute fail: the budget is spent
+	// and the final injected fault surfaces as a *forkjoin.TaskError, the
+	// pre-recovery action contract.
+	chaosQuiet(t, 11, map[string]float64{"rdd.task": 1, "rdd.recompute": 1})
+	SetTaskRetries(2)
+
+	r := Map(Parallelize(ints(64), 4), func(x int) int { return x + 1 })
+	_, err := r.CollectE()
+	var te *forkjoin.TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("CollectE error = %v, want *forkjoin.TaskError", err)
+	}
+	var inj *chaos.InjectedError
+	if !errors.As(err, &inj) {
+		t.Fatalf("TaskError does not wrap the injected fault: %v", err)
+	}
+	if inj.Point != "rdd.task" && inj.Point != "rdd.recompute" {
+		t.Errorf("injected fault from point %q, want an rdd point", inj.Point)
+	}
+
+	// The failure must not poison anything: disarm and the same pipeline
+	// evaluates cleanly.
+	chaos.Configure(11, 0)
+	if got, err := r.CollectE(); err != nil || len(got) != 64 {
+		t.Fatalf("re-evaluation after exhaustion = (%d elems, %v), want (64, nil)", len(got), err)
+	}
+}
+
+func TestRecomputeRacingConcurrentActionsOnCachedRDD(t *testing.T) {
+	// Concurrent actions race over one cached RDD while first attempts
+	// fail half the time. Recovery re-runs partitions — cache fills
+	// included — and every action must agree with the fault-free result;
+	// the cache must still compute each partition's *published* value
+	// exactly once per fill (no torn or partial slices observable).
+	chaosQuiet(t, 7, map[string]float64{"rdd.task": 0.5})
+	SetTaskRetries(10)
+
+	base := Map(Parallelize(ints(400), 8), func(x int) int { return x * 7 }).Cache()
+	wantSum := 0
+	for _, x := range ints(400) {
+		wantSum += x * 7
+	}
+
+	const actors = 6
+	var wg sync.WaitGroup
+	errs := make([]error, actors)
+	for a := 0; a < actors; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			if a%2 == 0 {
+				n, err := base.CountE()
+				if err == nil && n != 400 {
+					err = errors.New("count mismatch")
+				}
+				errs[a] = err
+				return
+			}
+			sum, err := base.ReduceE(func(x, y int) int { return x + y })
+			if err == nil && sum != wantSum {
+				err = errors.New("sum mismatch")
+			}
+			errs[a] = err
+		}(a)
+	}
+	wg.Wait()
+	for a, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent action %d: %v", a, err)
+		}
+	}
+}
+
+func TestShuffleEpochRetryAfterInjectedExchangeFault(t *testing.T) {
+	// While rdd.shuffle fires at rate 1, every exchange attempt fails and
+	// the action degrades to a TaskError once the budgets are spent — the
+	// exchange is NOT poisoned: disarming the point, the next action
+	// retries the whole two-phase shuffle under a fresh epoch and
+	// succeeds.
+	chaosQuiet(t, 3, map[string]float64{"rdd.shuffle": 1})
+	SetTaskRetries(1)
+
+	pairs := Map(Parallelize(ints(120), 6), func(x int) Pair[int, int] {
+		return Pair[int, int]{x % 10, x}
+	})
+	sums := ReduceByKey(pairs, 4, func(a, b int) int { return a + b })
+
+	if _, err := sums.CollectE(); err == nil {
+		t.Fatal("action succeeded while every exchange attempt was failing")
+	}
+	failedEpochs := sums.ShuffleEpochs()
+	if failedEpochs < 1 {
+		t.Fatalf("ShuffleEpochs = %d after failed exchange attempts, want >= 1", failedEpochs)
+	}
+
+	chaos.Configure(3, 0) // disarm; next consumer retries under a fresh epoch
+	got, err := sums.CollectE()
+	if err != nil {
+		t.Fatalf("post-fault exchange retry failed: %v", err)
+	}
+	if sums.ShuffleEpochs() <= failedEpochs {
+		t.Errorf("ShuffleEpochs = %d, want > %d (a fresh epoch per retried exchange)",
+			sums.ShuffleEpochs(), failedEpochs)
+	}
+	want := map[int]int{}
+	for _, x := range ints(120) {
+		want[x%10] += x
+	}
+	gotMap := map[int]int{}
+	for _, kv := range got {
+		gotMap[kv.Key] = kv.Value
+	}
+	if !reflect.DeepEqual(gotMap, want) {
+		t.Fatal("retried exchange produced different sums than fault-free")
+	}
+}
+
+func TestSpeculativeDuplicateSuppression(t *testing.T) {
+	// One straggler partition stalls until cancelled; speculation
+	// duplicates it. Exactly one value per partition publishes (the
+	// loser's is discarded through the discard callback), and no attempt
+	// outlives runParts — entered and exited counts match at return.
+	prev := SetSpeculation(true)
+	prevFloor := specMinRuntime.Swap(int64(10 * time.Microsecond))
+	t.Cleanup(func() {
+		SetSpeculation(prev)
+		specMinRuntime.Store(prevFloor)
+	})
+
+	const n = 8
+	const straggler = 5
+	var entered, exited, discards atomic.Int32
+	var entries [n]atomic.Int32
+
+	out, err := runParts(n, true, func(ctx *taskCtx, p int) int {
+		entered.Add(1)
+		defer exited.Add(1)
+		if p == straggler && entries[p].Add(1) == 1 {
+			// The original attempt: stall until the winning duplicate's
+			// publish cancels us (bounded by a deadline so a suppression
+			// bug fails the test instead of hanging it).
+			deadline := time.Now().Add(5 * time.Second)
+			for !ctx.cancel.Load() {
+				if time.Now().After(deadline) {
+					t.Error("straggler was never cancelled")
+					break
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+			ctx.stopped = true
+			return -1 // must never publish
+		}
+		return p * 10
+	}, func(v int) { discards.Add(1) })
+
+	if err != nil {
+		t.Fatalf("runParts: %v", err)
+	}
+	for p := 0; p < n; p++ {
+		if out[p] != p*10 {
+			t.Fatalf("out[%d] = %d, want %d (loser published?)", p, out[p], p*10)
+		}
+	}
+	if got := entries[straggler].Load(); got != 2 {
+		t.Fatalf("straggler ran %d attempts, want 2 (original + one duplicate)", got)
+	}
+	if entered.Load() != exited.Load() {
+		t.Fatalf("attempt leak: %d entered, %d exited after runParts returned",
+			entered.Load(), exited.Load())
+	}
+	if discards.Load() != 1 {
+		t.Errorf("discards = %d, want exactly 1 (the suppressed original)", discards.Load())
+	}
+}
+
+func TestCheckpointTruncatesLineage(t *testing.T) {
+	base := Parallelize(ints(100), 5)
+	full := Map(base, func(x int) int { return x + 1 }).
+		Filter(func(x int) bool { return x%2 == 0 })
+
+	cp := full.Checkpoint()
+	tail := Map(cp, func(x int) int { return x * 2 })
+
+	if got := full.Lineage(); got != "filter <- map <- parallelize" {
+		t.Errorf("pre-checkpoint lineage = %q", got)
+	}
+	if got := tail.Lineage(); got != "map <- checkpoint" {
+		t.Errorf("post-checkpoint lineage = %q, want truncation at the checkpoint", got)
+	}
+	if d := full.RecomputeDepth(); d != 2 {
+		t.Errorf("full.RecomputeDepth = %d, want 2", d)
+	}
+	if d := tail.RecomputeDepth(); d != 1 {
+		t.Errorf("tail.RecomputeDepth = %d, want 1 (checkpoint is the barrier)", d)
+	}
+
+	if e := cp.ShuffleEpochs(); e != 0 {
+		t.Errorf("ShuffleEpochs = %d before any action, want 0", e)
+	}
+	want := Map(full, func(x int) int { return x * 2 }).Collect()
+	if got := tail.Collect(); !reflect.DeepEqual(got, want) {
+		t.Fatal("checkpointed pipeline result differs from direct evaluation")
+	}
+	if e := cp.ShuffleEpochs(); e != 1 {
+		t.Errorf("ShuffleEpochs = %d after one clean materialization, want 1", e)
+	}
+	// Re-running the action reads the materialized checkpoint: no new epoch.
+	tail.Collect()
+	if e := cp.ShuffleEpochs(); e != 1 {
+		t.Errorf("ShuffleEpochs = %d after a second action, want still 1", e)
+	}
+}
+
+// TestChaosDifferentialBitIdentical asserts the recovery engine's core
+// guarantee: under injected faults on every rdd chaos point at rates up to
+// 0.05, every action's result — through mid-chain Cache and Checkpoint,
+// narrow and wide dependencies, and the ML kernels — is bit-identical to
+// the fault-free run.
+func TestChaosDifferentialBitIdentical(t *testing.T) {
+	type results struct {
+		collected []int
+		count     int
+		sum       int
+		cached    []int
+		ckpt      []int
+		byKey     map[int]int
+		grouped   map[int][]int
+		joined    []Pair[int, struct{ Left, Right int }]
+		nbPrior   []float64
+		chi       []float64
+		logw      []float64
+		ranks     map[int]float64
+	}
+
+	run := func() results {
+		var r results
+		base := Parallelize(ints(300), 8)
+
+		narrow := Map(base, func(x int) int { return x*x - x })
+		r.collected = narrow.Collect()
+		r.count = narrow.Count()
+		var err error
+		r.sum, err = narrow.ReduceE(func(a, b int) int { return a + b })
+		if err != nil {
+			t.Fatalf("ReduceE: %v", err)
+		}
+
+		cached := Map(base, func(x int) int { return x + 13 }).Cache()
+		r.cached = Map(cached, func(x int) int { return x * 2 }).Collect()
+
+		ckpt := Map(base, func(x int) int { return x - 5 }).Checkpoint()
+		r.ckpt = ckpt.Filter(func(x int) bool { return x%3 == 0 }).Collect()
+
+		pairs := Map(base, func(x int) Pair[int, int] { return Pair[int, int]{x % 17, x} })
+		r.byKey = CollectAsMap(ReduceByKey(pairs, 4, func(a, b int) int { return a + b }))
+		r.grouped = CollectAsMap(GroupByKey(pairs, 4))
+
+		left := Map(base, func(x int) Pair[int, int] { return Pair[int, int]{x % 11, x} })
+		right := Map(base, func(x int) Pair[int, int] { return Pair[int, int]{x % 11, x * 2} })
+		joined := Join(left, right, 4).Collect()
+		sort.Slice(joined, func(i, j int) bool {
+			a, b := joined[i], joined[j]
+			if a.Key != b.Key {
+				return a.Key < b.Key
+			}
+			if a.Value.Left != b.Value.Left {
+				return a.Value.Left < b.Value.Left
+			}
+			return a.Value.Right < b.Value.Right
+		})
+		r.joined = joined
+
+		points := Map(base, func(x int) LabeledPoint {
+			return LabeledPoint{
+				Label:    x % 2,
+				Features: []float64{float64(x%7) + 1, float64(x%5) + 1, float64(x % 3)},
+			}
+		})
+		nb, err := NaiveBayes(points, 2, 3)
+		if err != nil {
+			t.Fatalf("NaiveBayes: %v", err)
+		}
+		r.nbPrior = nb.ClassLogPrior
+		r.chi = ChiSquare(points, 2, 3, 4)
+		r.logw, err = LogisticRegression(points, 5, 0.1)
+		if err != nil {
+			t.Fatalf("LogisticRegression: %v", err)
+		}
+
+		var edges []Pair[int, int]
+		for i := 0; i < 60; i++ {
+			edges = append(edges,
+				Pair[int, int]{i, (i*i + 1) % 60},
+				Pair[int, int]{i, (i + 7) % 60})
+		}
+		r.ranks = NewGraph(edges).PageRank(10, 0.85)
+		return r
+	}
+
+	chaos.Disable()
+	SetTaskRetries(10)
+	t.Cleanup(func() {
+		chaos.Disable()
+		SetTaskRetries(-1)
+	})
+	want := run()
+
+	for _, seed := range []int64{1, 7, 13} {
+		for _, rate := range []float64{0.01, 0.05} {
+			chaos.Configure(seed, 0)
+			for _, pt := range []string{"rdd.task", "rdd.recompute", "rdd.shuffle"} {
+				chaos.SetRate(pt, rate)
+			}
+			got := run()
+			// Read fire counts before Configure resets them. At rate 0.01 a
+			// seed can legitimately fire nothing; at 0.05 over hundreds of
+			// trials a silent run means the points aren't wired in.
+			fires := chaos.FireCount("rdd.task") +
+				chaos.FireCount("rdd.recompute") + chaos.FireCount("rdd.shuffle")
+			chaos.Configure(seed, 0)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed=%d rate=%g: chaos run diverged from fault-free run", seed, rate)
+			}
+			if rate >= 0.05 && fires == 0 {
+				t.Fatalf("seed=%d rate=%g: no rdd faults fired — differential proved nothing", seed, rate)
+			}
+		}
+	}
+}
